@@ -1,0 +1,352 @@
+(* Benchmark harness.
+
+   Phase 1 regenerates the paper's evaluation artifacts — the rows of
+   Table I, Table II and Table III, plus the data series behind the six
+   distribution figures — and prints them exactly as reported.
+
+   Phase 2 times the machinery with Bechamel: one Test.make per table
+   and per figure, plus the ablations called out in DESIGN.md (analysis
+   modes, pruned vs full checkpoint writes, region-codec granularity,
+   AD recording overhead).
+
+   Run with: dune exec bench/main.exe                                  *)
+
+open Bechamel
+module Crit = Scvad_core.Criticality
+
+let say fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: regenerate the paper's rows and series                     *)
+(* ------------------------------------------------------------------ *)
+
+let reports = Hashtbl.create 8
+
+let report_of (module A : Scvad_core.App.S) =
+  match Hashtbl.find_opt reports A.name with
+  | Some r -> r
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let r = Scvad_core.Analyzer.analyze (module A) in
+      Printf.eprintf "[bench] analysis %s: %.2fs (%d tape nodes)\n%!" A.name
+        (Unix.gettimeofday () -. t0) r.Crit.tape_nodes;
+      Hashtbl.add reports A.name r;
+      r
+
+let phase1 () =
+  let apps = Scvad_npb.Suite.all in
+  say "%s\n" (Scvad_core.Report.table1 apps);
+  let rs = List.map (fun a -> report_of a) apps in
+  say "%s\n" (Scvad_core.Report.table2 rs);
+  let rows =
+    List.map
+      (fun (module A : Scvad_core.App.S) ->
+        Scvad_core.Report.table3_row (module A) (report_of (module A)))
+      apps
+  in
+  say "%s\n" (Scvad_core.Report.table3 rows);
+  (* Figure series: the numeric content of Figs. 3-8. *)
+  let v name var = Crit.find (report_of (Option.get (Scvad_npb.Suite.find name))) var in
+  let bt_u = v "bt" "u" and mg_u = v "mg" "u" and mg_r = v "mg" "r" in
+  let cg_x = v "cg" "x" and lu_u = v "lu" "u" and ft_y = v "ft" "y" in
+  let cube4 vr m =
+    Scvad_viz.Cube.component ~dims4:(Scvad_nd.Shape.dims vr.Crit.shape)
+      vr.Crit.mask ~m
+  in
+  say "FIGURE SERIES\n";
+  say "Fig 3 (BT u, component 0): uncritical planes = %s\n"
+    (String.concat ", " (Scvad_viz.Cube.uncritical_planes (cube4 bt_u 0)));
+  say "Fig 4 (MG u): critical spans = %s\n"
+    (Scvad_checkpoint.Regions.to_string mg_u.Crit.regions);
+  say "Fig 5 (MG r): %d critical (= 33^3, the restriction read set); \
+       pattern period 34: |%s|\n"
+    (Crit.critical mg_r)
+    (Scvad_viz.Strip.window ~width:68
+       (Scvad_viz.Strip.of_report mg_r)
+       ~lo:(34 * 34) ~hi:((34 * 34) + (2 * 34)));
+  say "Fig 6 (CG x): critical spans = %s\n"
+    (Scvad_checkpoint.Regions.to_string cg_x.Crit.regions);
+  let u4 = cube4 lu_u 4 in
+  let c4, un4 = Scvad_viz.Cube.counts u4 in
+  say "Fig 7 (LU u[.][4]): %d critical / %d uncritical (union of sweeps)\n" c4
+    un4;
+  say "Fig 8 (FT y): uncritical planes = %s (%d cells)\n"
+    (String.concat ", "
+       (Scvad_viz.Cube.uncritical_planes
+          (Scvad_viz.Cube.of_mask ~dims:(Scvad_nd.Shape.dims ft_y.Crit.shape)
+             ft_y.Crit.mask)))
+    (Crit.uncritical ft_y);
+  say "\n";
+  (* Operational reading of Table III: Young-model overhead at the
+     optimal interval, full vs pruned, for a canonical large system
+     (checkpoint cost 60 s at full size, MTBF 24 h, restart 300 s). *)
+  let base =
+    { Scvad_checkpoint.Interval.checkpoint_cost = 60.; mtbf = 86_400.;
+      restart_cost = 300. }
+  in
+  (* Related-work baseline: per-checkpoint bytes under four policies. *)
+  say "CHECKPOINT POLICY COMPARISON (payload bytes: base ckpt, then deltas)\n";
+  say "%-10s %12s %12s %14s %12s\n" "Benchmark" "full" "pruned" "incremental"
+    "combined";
+  List.iter
+    (fun name ->
+      let (module A : Scvad_core.App.S) =
+        Option.get (Scvad_npb.Suite.find name)
+      in
+      let c =
+        Scvad_core.Incremental.storage_comparison ~checkpoints:3 (module A)
+          (report_of (module A))
+      in
+      let second l = List.nth l 1 in
+      say "%-10s %12d %12d %14d %12d   (steady-state delta)\n"
+        (String.uppercase_ascii name)
+        (second c.Scvad_core.Incremental.full)
+        (second c.Scvad_core.Incremental.pruned)
+        (second c.Scvad_core.Incremental.incremental)
+        (second c.Scvad_core.Incremental.combined))
+    [ "bt"; "sp"; "mg"; "cg"; "lu" ];
+  say "\n";
+  say "OPERATIONAL MODEL (Young): C_full=60s, MTBF=24h, R=300s\n";
+  say "%-10s %14s %12s %12s %14s\n" "Benchmark" "kept fraction" "tau full"
+    "tau pruned" "overhead drop";
+  List.iter
+    (fun (module A : Scvad_core.App.S) ->
+      let row = Scvad_core.Report.table3_row (module A) (report_of (module A)) in
+      let kept =
+        float_of_int row.Scvad_core.Report.optimized_bytes
+        /. float_of_int row.Scvad_core.Report.original_bytes
+      in
+      let c = Scvad_checkpoint.Interval.compare_pruning base ~kept_fraction:kept in
+      say "%-10s %13.1f%% %10.0f s %10.0f s %13.2f%%\n"
+        (String.uppercase_ascii A.name)
+        (100. *. kept) c.Scvad_checkpoint.Interval.full_tau
+        c.Scvad_checkpoint.Interval.pruned_tau
+        (100.
+         *. (1.
+             -. (c.Scvad_checkpoint.Interval.pruned_overhead
+                 /. c.Scvad_checkpoint.Interval.full_overhead))))
+    apps;
+  say "\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: Bechamel timings                                           *)
+(* ------------------------------------------------------------------ *)
+
+let app name = Option.get (Scvad_npb.Suite.find name)
+
+(* Table I: building the variable registry of all eight benchmarks. *)
+let bench_table1 =
+  Test.make ~name:"table1/registry"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Scvad_core.Report.table1 Scvad_npb.Suite.all)))
+
+(* Table II: one reverse-gradient analysis per benchmark (FT is the
+   heavyweight: a taped 64^3 inverse FFT). *)
+let bench_table2 name =
+  let (module A : Scvad_core.App.S) = app name in
+  Test.make
+    ~name:(Printf.sprintf "table2/analyze_%s" name)
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Scvad_core.Analyzer.analyze (module A))))
+
+(* Table III: full vs pruned checkpoint encoding. *)
+let snapshot_fn name pruned =
+  let (module A : Scvad_core.App.S) = app name in
+  let report = report_of (module A) in
+  let module I = A.Make (Scvad_ad.Float_scalar) in
+  let st = I.create () in
+  I.run st ~from:0 ~until:1;
+  fun () ->
+    let file =
+      Scvad_core.Pruned.snapshot
+        ?report:(if pruned then Some report else None)
+        ~app:name ~iteration:1 ~float_vars:(I.float_vars st)
+        ~int_vars:(I.int_vars st) ()
+    in
+    Sys.opaque_identity (Scvad_checkpoint.Ckpt_format.encode file)
+
+let bench_table3 name =
+  [ Test.make
+      ~name:(Printf.sprintf "table3/%s_full" name)
+      (Staged.stage (snapshot_fn name false));
+    Test.make
+      ~name:(Printf.sprintf "table3/%s_pruned" name)
+      (Staged.stage (snapshot_fn name true)) ]
+
+(* Figures: rendering cost. *)
+let bench_figures =
+  let bt = report_of (app "bt") in
+  let mg = report_of (app "mg") in
+  let cg = report_of (app "cg") in
+  let lu = report_of (app "lu") in
+  let ft = report_of (app "ft") in
+  [ Test.make ~name:"fig3/bt_cube"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Scvad_viz.Figures.fig3 (Crit.find bt "u"))));
+    Test.make ~name:"fig4/mg_u_strip"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Scvad_viz.Figures.fig4 (Crit.find mg "u"))));
+    Test.make ~name:"fig5/mg_r_strip"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Scvad_viz.Figures.fig5 (Crit.find mg "r"))));
+    Test.make ~name:"fig6/cg_x_strip"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Scvad_viz.Figures.fig6 (Crit.find cg "x"))));
+    Test.make ~name:"fig7/lu_u4_cube"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Scvad_viz.Figures.fig7 (Crit.find lu "u"))));
+    Test.make ~name:"fig8/ft_y_plane"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Scvad_viz.Figures.fig8 (Crit.find ft "y")))) ]
+
+(* Ablation: the three analysis modes on the reduced CG (forward probe
+   is O(elements) full runs — the cost the one-sweep reverse mode
+   saves). *)
+let bench_modes =
+  List.map
+    (fun (label, mode) ->
+      Test.make
+        ~name:(Printf.sprintf "ablation/mode_%s_cg_tiny" label)
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Scvad_core.Analyzer.analyze ~mode (module Scvad_npb.Cg.Tiny_app)))))
+    [ ("reverse", Crit.Reverse_gradient);
+      ("forward", Crit.Forward_probe);
+      ("activity", Crit.Activity_dependence) ]
+
+(* Ablation: AD recording overhead — one BT time step in float mode vs
+   recording on the reverse tape. *)
+let bench_ad_overhead =
+  let float_step =
+    let module I = Scvad_npb.Bt.Make_generic (Scvad_ad.Float_scalar) in
+    let st = I.create () in
+    fun () -> Sys.opaque_identity (I.run st ~from:0 ~until:1)
+  in
+  let taped_step () =
+    let tape = Scvad_ad.Tape.create ~capacity:(1 lsl 20) () in
+    let module RS = Scvad_ad.Reverse.Scalar_of (struct
+      let tape = tape
+    end) in
+    let module I = Scvad_npb.Bt.Make_generic (RS) in
+    let st = I.create () in
+    (* lift u so the step actually records *)
+    List.iter
+      (fun v ->
+        ignore
+          (Scvad_core.Variable.lift_capture v (Scvad_ad.Reverse.lift tape)))
+      (I.float_vars st);
+    Sys.opaque_identity (I.run st ~from:0 ~until:1)
+  in
+  [ Test.make ~name:"ablation/bt_step_float" (Staged.stage float_step);
+    Test.make ~name:"ablation/bt_step_reverse_tape" (Staged.stage taped_step) ]
+
+(* Baseline: incremental (dirty-tracking) snapshot cost vs pruned. *)
+let bench_incremental =
+  let (module A : Scvad_core.App.S) = app "bt" in
+  let report = report_of (module A) in
+  let module I = A.Make (Scvad_ad.Float_scalar) in
+  let st = I.create () in
+  I.run st ~from:0 ~until:2;
+  let tracker = Scvad_core.Incremental.create_tracker () in
+  (* Prime the tracker so the measured call produces a delta. *)
+  ignore
+    (Scvad_core.Incremental.snapshot tracker
+       ~mode:(Scvad_core.Incremental.Combined_with report) ~app:"bt"
+       ~iteration:1 ~float_vars:(I.float_vars st) ~int_vars:(I.int_vars st) ());
+  [ Test.make ~name:"baseline/incremental_delta_bt"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Scvad_core.Incremental.snapshot tracker
+                ~mode:(Scvad_core.Incremental.Combined_with report) ~app:"bt"
+                ~iteration:2 ~float_vars:(I.float_vars st)
+                ~int_vars:(I.int_vars st) ()))) ]
+
+(* Extension: impact analysis + mixed-precision snapshot cost. *)
+let bench_mixed =
+  let impact =
+    Scvad_core.Analyzer.analyze_impact ~at_iter:1 ~niter:2
+      (module Scvad_npb.Cg.App)
+  in
+  let plans = Scvad_core.Mixed.plans_of_report ~threshold:1e-6 impact in
+  let module I = Scvad_npb.Cg.App.Make (Scvad_ad.Float_scalar) in
+  let st = I.create () in
+  I.run st ~from:0 ~until:1;
+  [ Test.make ~name:"extension/impact_analysis_cg"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Scvad_core.Analyzer.analyze_impact ~at_iter:1 ~niter:2
+                (module Scvad_npb.Cg.App))));
+    Test.make ~name:"extension/mixed_snapshot_cg"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Scvad_checkpoint.Ckpt_format.encode
+                (Scvad_core.Mixed.snapshot ~plans ~app:"cg" ~iteration:1
+                   ~float_vars:(I.float_vars st) ~int_vars:(I.int_vars st) ())))) ]
+
+(* Ablation: region-codec cost vs mask fragmentation. *)
+let bench_regions =
+  List.map
+    (fun period ->
+      let mask = Array.init 46480 (fun i -> i mod period <> period - 1) in
+      Test.make
+        ~name:(Printf.sprintf "ablation/regions_period_%d" period)
+        (Staged.stage (fun () ->
+             Sys.opaque_identity (Scvad_checkpoint.Regions.of_mask mask))))
+    [ 2; 34; 4096 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_group ~quota name tests =
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second quota) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  say "-- %s\n" name;
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun tname raw ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+              let unit, v =
+                if ns > 1e9 then ("s ", ns /. 1e9)
+                else if ns > 1e6 then ("ms", ns /. 1e6)
+                else if ns > 1e3 then ("us", ns /. 1e3)
+                else ("ns", ns)
+              in
+              say "  %-40s %10.2f %s/run\n" tname v unit
+          | Some _ | None -> say "  %-40s (no estimate)\n" tname)
+        results)
+    tests;
+  say "%!"
+
+let () =
+  say "============================================================\n";
+  say " scvad benchmark harness — paper tables, figures, timings\n";
+  say "============================================================\n\n";
+  phase1 ();
+  say "TIMINGS (Bechamel, ns per run via OLS)\n";
+  run_group ~quota:0.25 "Table I" [ bench_table1 ];
+  run_group ~quota:0.5 "Table II (criticality analysis per benchmark)"
+    (List.map bench_table2 [ "bt"; "sp"; "mg"; "cg"; "lu"; "ep"; "is" ]);
+  run_group ~quota:0.1 "Table II (FT: taped 64^3 inverse FFT)"
+    [ bench_table2 "ft" ];
+  run_group ~quota:0.1 "Scaling: class-W analyses (MG 64^3, CG NA=7000, SP 36^3, LU 33^3)"
+    [ bench_table2 "mg-w"; bench_table2 "cg-w"; bench_table2 "sp-w";
+      bench_table2 "lu-w" ];
+  run_group ~quota:0.25 "Table III (checkpoint encoding, full vs pruned)"
+    (List.concat_map bench_table3 [ "bt"; "mg"; "cg"; "lu"; "ft" ]);
+  run_group ~quota:0.25 "Figures 3-8 (rendering)" bench_figures;
+  run_group ~quota:0.5 "Ablation: analysis modes (reduced CG)" bench_modes;
+  run_group ~quota:0.5 "Ablation: AD recording overhead (BT step)"
+    bench_ad_overhead;
+  run_group ~quota:0.25 "Ablation: region codec granularity" bench_regions;
+  run_group ~quota:0.5 "Extension: impact + mixed precision (CG)" bench_mixed;
+  run_group ~quota:0.25 "Baseline: incremental checkpointing (BT)"
+    bench_incremental;
+  say "\ndone.\n"

@@ -1,0 +1,81 @@
+(* Full experiment report: regenerates the paper's Table I, Table II,
+   Table III and the six distribution figures for all eight NPB
+   benchmarks.  Figure images (PPM) land in the output directory
+   (default [_results]). *)
+
+module Crit = Scvad_core.Criticality
+
+let out_dir = ref "_results"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.eprintf "[report] %s: %.2fs\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+let () =
+  (match Sys.argv with
+  | [| _; dir |] -> out_dir := dir
+  | _ -> ());
+  mkdir_p !out_dir;
+  let apps = Scvad_npb.Suite.all in
+  (* Table I straight from the registries. *)
+  print_string (Scvad_core.Report.table1 apps);
+  print_newline ();
+  (* One analysis per benchmark. *)
+  let reports =
+    List.map
+      (fun (module A : Scvad_core.App.S) ->
+        time ("analyze " ^ A.name) (fun () ->
+            ((module A : Scvad_core.App.S), Scvad_core.Analyzer.analyze (module A))))
+      apps
+  in
+  print_string (Scvad_core.Report.table2 (List.map snd reports));
+  print_newline ();
+  let rows =
+    List.map
+      (fun ((module A : Scvad_core.App.S), r) ->
+        Scvad_core.Report.table3_row (module A) r)
+      reports
+  in
+  print_string (Scvad_core.Report.table3 rows);
+  print_newline ();
+  (* Figures. *)
+  let report_of name = List.assoc name (List.map (fun ((module A : Scvad_core.App.S), r) -> (A.name, r)) reports) in
+  let figures =
+    [ Scvad_viz.Figures.fig3 (Crit.find (report_of "bt") "u");
+      Scvad_viz.Figures.fig4 (Crit.find (report_of "mg") "u");
+      Scvad_viz.Figures.fig5 (Crit.find (report_of "mg") "r");
+      Scvad_viz.Figures.fig6 (Crit.find (report_of "cg") "x");
+      Scvad_viz.Figures.fig7 (Crit.find (report_of "lu") "u");
+      Scvad_viz.Figures.fig8 (Crit.find (report_of "ft") "y") ]
+  in
+  List.iter
+    (fun (fig : Scvad_viz.Figures.output) ->
+      Printf.printf "== %s\n" fig.Scvad_viz.Figures.title;
+      (* Keep stdout compact: print headline lines only, full text goes
+         to a file. *)
+      (match String.index_opt fig.Scvad_viz.Figures.text '\n' with
+      | Some i -> print_endline (String.sub fig.Scvad_viz.Figures.text 0 i)
+      | None -> print_string fig.Scvad_viz.Figures.text);
+      let txt_path =
+        Filename.concat !out_dir
+          (Printf.sprintf "%s.txt"
+             (String.map
+                (fun c -> if c = ' ' || c = '.' then '_' else c)
+                fig.Scvad_viz.Figures.title))
+      in
+      let oc = open_out txt_path in
+      output_string oc fig.Scvad_viz.Figures.text;
+      close_out oc;
+      let images = Scvad_viz.Figures.write_images ~dir:!out_dir fig in
+      List.iter (fun p -> Printf.printf "   wrote %s\n" p) images;
+      Printf.printf "   wrote %s\n" txt_path)
+    figures;
+  Printf.printf "\nAll artifacts under %s/\n" !out_dir

@@ -1,0 +1,370 @@
+(* scvad — command-line interface.
+
+   Subcommands:
+     list        benchmarks and their checkpoint variables
+     run         execute a benchmark (golden run)
+     analyze     scrutinize checkpoint variables (the paper's analysis)
+     visualize   render a variable's criticality distribution
+     checkpoint  run with periodic (optionally pruned) checkpoints
+     restart     restore the latest checkpoint and finish the run
+     report      regenerate every table and figure                     *)
+
+open Cmdliner
+module Crit = Scvad_core.Criticality
+
+let find_app name =
+  match Scvad_npb.Suite.find name with
+  | Some a -> Ok a
+  | None ->
+      Error
+        (Printf.sprintf "unknown benchmark %S (try: %s)" name
+           (String.concat ", " Scvad_npb.Suite.names))
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let app_arg =
+  let doc = "Benchmark name (bt, sp, mg, cg, lu, ft, ep, is)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let niter_arg =
+  let doc = "Override the number of main-loop iterations." in
+  Arg.(value & opt (some int) None & info [ "niter"; "n" ] ~docv:"N" ~doc)
+
+let mode_arg =
+  let modes =
+    [ ("reverse", Crit.Reverse_gradient);
+      ("forward", Crit.Forward_probe);
+      ("activity", Crit.Activity_dependence) ]
+  in
+  let doc =
+    "Analysis mode: $(b,reverse) (one taped run + one backward sweep),
+     $(b,forward) (one dual-number run per element), or $(b,activity)
+     (dependence only)."
+  in
+  Arg.(value & opt (enum modes) Crit.Reverse_gradient & info [ "mode" ] ~doc)
+
+let at_iter_arg =
+  let doc = "Checkpoint boundary the analysis models." in
+  Arg.(value & opt int 0 & info [ "at-iter" ] ~docv:"T" ~doc)
+
+let dir_arg =
+  let doc = "Checkpoint directory." in
+  Arg.(value & opt string "_checkpoints" & info [ "dir"; "d" ] ~docv:"DIR" ~doc)
+
+let out_arg =
+  let doc = "Output directory for images and reports." in
+  Arg.(value & opt string "_results" & info [ "out"; "o" ] ~docv:"DIR" ~doc)
+
+let pruned_arg =
+  let doc = "Prune checkpoints using a fresh criticality analysis." in
+  Arg.(value & flag & info [ "pruned"; "p" ] ~doc)
+
+let poison_arg =
+  let poisons =
+    [ ("nan", Scvad_checkpoint.Failure.Nan);
+      ("zero", Scvad_checkpoint.Failure.Zero) ]
+  in
+  let doc = "Value placed in uncritical elements on restore." in
+  Arg.(value & opt (enum poisons) Scvad_checkpoint.Failure.Nan
+       & info [ "poison" ] ~doc)
+
+let handle = function
+  | Ok () -> 0
+  | Error msg ->
+      Printf.eprintf "scvad: %s\n" msg;
+      1
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (module A : Scvad_core.App.S) ->
+        Printf.printf "%-4s %s\n" A.name A.description;
+        List.iter
+          (fun d -> Printf.printf "       %s\n" d)
+          (Scvad_core.Report.declarations (module A)))
+      Scvad_npb.Suite.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and checkpoint variables")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let run name niter =
+    handle
+      (Result.map
+         (fun (module A : Scvad_core.App.S) ->
+           let t0 = Unix.gettimeofday () in
+           let g = Scvad_core.Harness.golden_run ?niter (module A) in
+           Printf.printf "%s: output %.15g after %d iterations (%.2fs)\n"
+             A.name g.Scvad_core.Harness.output g.Scvad_core.Harness.iterations
+             (Unix.gettimeofday () -. t0))
+         (find_app name))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a benchmark (golden run)")
+    Term.(const run $ app_arg $ niter_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let print_report (r : Crit.report) =
+  Printf.printf
+    "benchmark %s: mode %s, boundary t=%d, window until %d, %d tape nodes\n"
+    r.Crit.app (Crit.mode_name r.Crit.mode) r.Crit.at_iteration
+    r.Crit.analyzed_until r.Crit.tape_nodes;
+  List.iter
+    (fun v ->
+      Printf.printf "  %-20s %8d critical %8d uncritical (%5.1f%%)  regions=%d\n"
+        v.Crit.name (Crit.critical v) (Crit.uncritical v)
+        (100. *. Crit.uncritical_rate v)
+        (Scvad_checkpoint.Regions.count_regions v.Crit.regions))
+    r.Crit.vars
+
+let analyze_cmd =
+  let run name mode at_iter niter =
+    handle
+      (Result.map
+         (fun (module A : Scvad_core.App.S) ->
+           let r = Scvad_core.Analyzer.analyze ~mode ~at_iter ?niter (module A) in
+           print_report r)
+         (find_app name))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Scrutinize every element of the checkpoint variables with AD")
+    Term.(const run $ app_arg $ mode_arg $ at_iter_arg $ niter_arg)
+
+(* ------------------------------------------------------------------ *)
+(* visualize                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let var_arg =
+  let doc = "Variable to render (default: every float variable)." in
+  Arg.(value & opt (some string) None & info [ "var"; "v" ] ~docv:"NAME" ~doc)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let visualize_one ~out (v : Crit.var_report) =
+  let dims = Scvad_nd.Shape.dims v.Crit.shape in
+  Printf.printf "%s %s: %d uncritical of %d\n" v.Crit.name
+    (Scvad_nd.Shape.to_string v.Crit.shape)
+    (Crit.uncritical v) (Crit.total v);
+  (match Array.length dims with
+  | 4 ->
+      let cube = Scvad_viz.Cube.component ~dims4:dims v.Crit.mask ~m:0 in
+      print_string (Scvad_viz.Cube.to_ascii cube);
+      Scvad_viz.Ppm.write
+        (Filename.concat out (v.Crit.name ^ "_cube.ppm"))
+        (Scvad_viz.Cube.to_ppm cube)
+  | 3 ->
+      let cube = Scvad_viz.Cube.of_mask ~dims v.Crit.mask in
+      Printf.printf "fully uncritical planes: %s\n"
+        (String.concat ", " (Scvad_viz.Cube.uncritical_planes cube));
+      Scvad_viz.Ppm.write
+        (Filename.concat out (v.Crit.name ^ "_cube.ppm"))
+        (Scvad_viz.Cube.to_ppm cube)
+  | _ ->
+      let strip = Scvad_viz.Strip.of_report v in
+      print_string (Scvad_viz.Strip.to_ascii strip));
+  print_newline ()
+
+let visualize_cmd =
+  let run name var out =
+    handle
+      (Result.map
+         (fun (module A : Scvad_core.App.S) ->
+           mkdir_p out;
+           let r = Scvad_core.Analyzer.analyze (module A) in
+           let selected =
+             match var with
+             | None -> r.Crit.vars
+             | Some v -> [ Crit.find r v ]
+           in
+           List.iter (visualize_one ~out) selected)
+         (find_app name))
+  in
+  Cmd.v
+    (Cmd.info "visualize"
+       ~doc:"Render the critical/uncritical distribution of a variable")
+    Term.(const run $ app_arg $ var_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint / restart                                                *)
+(* ------------------------------------------------------------------ *)
+
+let every_arg =
+  let doc = "Checkpoint every N iterations." in
+  Arg.(value & opt int 2 & info [ "every"; "e" ] ~docv:"N" ~doc)
+
+let crash_arg =
+  let doc = "Inject a crash at this iteration." in
+  Arg.(value & opt (some int) None & info [ "crash-at" ] ~docv:"N" ~doc)
+
+let checkpoint_cmd =
+  let run name dir every pruned crash_at niter =
+    handle
+      (Result.map
+         (fun (module A : Scvad_core.App.S) ->
+           let store = Scvad_checkpoint.Store.create dir in
+           let report =
+             if pruned then Some (Scvad_core.Analyzer.analyze (module A))
+             else None
+           in
+           match
+             Scvad_core.Harness.run_with_checkpoints ?report ?crash_at ?niter
+               ~store ~every (module A)
+           with
+           | g ->
+               Printf.printf "%s finished: output %.15g (%d iterations)\n"
+                 A.name g.Scvad_core.Harness.output
+                 g.Scvad_core.Harness.iterations;
+               List.iter
+                 (fun it ->
+                   Printf.printf "  checkpoint %d: %d bytes\n" it
+                     (Scvad_checkpoint.Store.disk_bytes store it))
+                 (Scvad_checkpoint.Store.list_iterations store)
+           | exception Scvad_checkpoint.Failure.Crash { iteration } ->
+               Printf.printf "%s crashed at iteration %d (as requested)\n"
+                 A.name iteration;
+               Printf.printf "checkpoints available: %s\n"
+                 (String.concat ", "
+                    (List.map string_of_int
+                       (Scvad_checkpoint.Store.list_iterations store))))
+         (find_app name))
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Run with periodic (optionally pruned) checkpoints")
+    Term.(
+      const run $ app_arg $ dir_arg $ every_arg $ pruned_arg $ crash_arg
+      $ niter_arg)
+
+let restart_cmd =
+  let run name dir poison niter =
+    handle
+      (Result.map
+         (fun (module A : Scvad_core.App.S) ->
+           let store = Scvad_checkpoint.Store.create dir in
+           let g =
+             Scvad_core.Harness.restart_from_latest ~poison ?niter ~store
+               (module A)
+           in
+           let golden = Scvad_core.Harness.golden_run ?niter (module A) in
+           Printf.printf "%s restarted: output %.15g (golden %.15g) -> %s\n"
+             A.name g.Scvad_core.Harness.output golden.Scvad_core.Harness.output
+             (if Scvad_core.Harness.verified ~golden ~restarted:g then
+                "VERIFICATION SUCCESSFUL"
+              else "VERIFICATION FAILED"))
+         (find_app name))
+  in
+  Cmd.v
+    (Cmd.info "restart"
+       ~doc:"Restore the latest checkpoint, finish the run, verify")
+    Term.(const run $ app_arg $ dir_arg $ poison_arg $ niter_arg)
+
+(* ------------------------------------------------------------------ *)
+(* impact                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let threshold_arg =
+  let doc =
+    "Impact threshold: elements with |d out / d element| below it are
+     checkpointed in single precision."
+  in
+  Arg.(value & opt float 1e-6 & info [ "threshold"; "t" ] ~docv:"TAU" ~doc)
+
+let impact_cmd =
+  let run name at_iter niter threshold =
+    handle
+      (Result.map
+         (fun (module A : Scvad_core.App.S) ->
+           let imp =
+             Scvad_core.Analyzer.analyze_impact ~at_iter ?niter (module A)
+           in
+           List.iter
+             (fun (v : Scvad_core.Impact.var_impact) ->
+               let classes = Scvad_core.Impact.classify v ~threshold in
+               let u, l, h = Scvad_core.Impact.class_counts classes in
+               Printf.printf
+                 "%-6s min>0 %.3e  p50 %.3e  max %.3e | uncritical %d, \
+                  f32-eligible %d, f64 %d\n"
+                 v.Scvad_core.Impact.name
+                 (Scvad_core.Impact.min_nonzero v)
+                 (Scvad_core.Impact.percentile v ~p:50.)
+                 (Scvad_core.Impact.max_magnitude v)
+                 u l h;
+               List.iter
+                 (fun (decade, count) ->
+                   Printf.printf "       1e%+03d: %d elements\n" decade count)
+                 (Scvad_core.Impact.log_histogram v))
+             imp.Scvad_core.Impact.vars;
+           let e =
+             Scvad_core.Mixed.experiment
+               ~at_iter:(max 1 at_iter)
+               ?niter ~threshold (module A)
+           in
+           Printf.printf
+             "mixed checkpoint @ tau=%.1e: %d -> %d bytes; measured restart \
+              error %.3e (first-order bound %.3e)\n"
+             threshold e.Scvad_core.Mixed.full_bytes
+             e.Scvad_core.Mixed.mixed_bytes e.Scvad_core.Mixed.abs_error
+             e.Scvad_core.Mixed.predicted_error)
+         (find_app name))
+  in
+  Cmd.v
+    (Cmd.info "impact"
+       ~doc:
+         "Per-element derivative magnitudes and the mixed-precision \
+          storage/accuracy tradeoff")
+    Term.(const run $ app_arg $ at_iter_arg $ niter_arg $ threshold_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let run out =
+    mkdir_p out;
+    let reports =
+      List.map
+        (fun (module A : Scvad_core.App.S) ->
+          ((module A : Scvad_core.App.S), Scvad_core.Analyzer.analyze (module A)))
+        Scvad_npb.Suite.all
+    in
+    print_string (Scvad_core.Report.table1 Scvad_npb.Suite.all);
+    print_newline ();
+    print_string (Scvad_core.Report.table2 (List.map snd reports));
+    print_newline ();
+    print_string
+      (Scvad_core.Report.table3
+         (List.map
+            (fun ((module A : Scvad_core.App.S), r) ->
+              Scvad_core.Report.table3_row (module A) r)
+            reports));
+    0
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Regenerate the paper's tables")
+    Term.(const run $ out_arg)
+
+let () =
+  let doc = "scrutinize checkpoint variables with automatic differentiation" in
+  let info = Cmd.info "scvad" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; run_cmd; analyze_cmd; visualize_cmd; checkpoint_cmd;
+            restart_cmd; impact_cmd; report_cmd ]))

@@ -1,0 +1,66 @@
+(* restart_demo: the paper's §IV-C experiment on the real CG benchmark,
+   narrated step by step.
+
+   - golden run of NPB CG class S (the output is NPB's official
+     verification value zeta = 8.59717750786...);
+   - a protected run that checkpoints every 3 iterations with only the
+     critical elements (x[1..1400], it) and crashes at iteration 11;
+   - a restart that restores the last checkpoint, fills the uncritical
+     elements (x[0], x[1401]) with NaN, and finishes the run;
+   - bitwise verification against the golden output.
+
+   Run with: dune exec examples/restart_demo.exe *)
+
+open Scvad_core
+module Cg = Scvad_npb.Cg
+
+let () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "scvad_restart_demo" in
+  let store = Scvad_checkpoint.Store.create ~keep_last:3 dir in
+  Scvad_checkpoint.Store.wipe store;
+
+  Printf.printf "== 1. scrutiny of CG's checkpoint variables\n%!";
+  let t0 = Unix.gettimeofday () in
+  let report = Analyzer.analyze (module Cg.App) in
+  Printf.printf "analysis: %.2fs, %d tape nodes\n" (Unix.gettimeofday () -. t0)
+    report.Criticality.tape_nodes;
+  List.iter
+    (fun v ->
+      Printf.printf "  %-3s -> %d uncritical of %d, critical spans %s\n"
+        v.Criticality.name (Criticality.uncritical v) (Criticality.total v)
+        (Scvad_checkpoint.Regions.to_string v.Criticality.regions))
+    report.Criticality.vars;
+
+  Printf.printf "\n== 2. golden run (15 iterations)\n%!";
+  let golden = Harness.golden_run (module Cg.App) in
+  Printf.printf "zeta + ||r|| = %.13f  (NPB class-S reference zeta is 8.5971775078648)\n"
+    golden.Harness.output;
+
+  Printf.printf "\n== 3. protected run: pruned checkpoints every 3, crash at 11\n%!";
+  (match
+     Harness.run_with_checkpoints ~report ~crash_at:11 ~store ~every:3
+       (module Cg.App)
+   with
+  | _ -> assert false
+  | exception Scvad_checkpoint.Failure.Crash { iteration } ->
+      Printf.printf "crashed at iteration %d; surviving checkpoints: %s\n"
+        iteration
+        (String.concat ", "
+           (List.map string_of_int (Scvad_checkpoint.Store.list_iterations store))));
+  List.iter
+    (fun it ->
+      Printf.printf "  checkpoint %2d: %d bytes on disk\n" it
+        (Scvad_checkpoint.Store.disk_bytes store it))
+    (Scvad_checkpoint.Store.list_iterations store);
+
+  Printf.printf "\n== 4. restart from the latest checkpoint (NaN-poisoned)\n%!";
+  let restarted =
+    Harness.restart_from_latest ~poison:Scvad_checkpoint.Failure.Nan ~store
+      (module Cg.App)
+  in
+  Printf.printf "restarted output = %.13f\n" restarted.Harness.output;
+  Printf.printf "golden output    = %.13f\n" golden.Harness.output;
+  Printf.printf "verification     = %s\n"
+    (if Harness.verified ~golden ~restarted then "SUCCESSFUL (bitwise)"
+     else "FAILED");
+  Scvad_checkpoint.Store.wipe store

@@ -1,0 +1,66 @@
+(* visual_tour: regenerates the paper's six distribution figures in the
+   terminal (Figures 3-8), with compact renderings for the large
+   variables.
+
+   Run with: dune exec examples/visual_tour.exe *)
+
+module Crit = Scvad_core.Criticality
+module Viz = Scvad_viz
+
+let analyze name =
+  match Scvad_npb.Suite.find name with
+  | Some (module A : Scvad_core.App.S) -> Scvad_core.Analyzer.analyze (module A)
+  | None -> failwith name
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let () =
+  let bt = analyze "bt" in
+  let mg = analyze "mg" in
+  let cg = analyze "cg" in
+  let lu = analyze "lu" in
+
+  header "Fig 3 — the shared ADI cube pattern (BT u, component 0)";
+  let cube = Viz.Cube.component ~dims4:[| 12; 13; 13; 5 |]
+      (Crit.find bt "u").Crit.mask ~m:0
+  in
+  Printf.printf "uncritical planes: %s\n"
+    (String.concat ", " (Viz.Cube.uncritical_planes cube));
+  Printf.printf "one slice (k=5) of the 12x13x13 cube:\n";
+  print_string (Viz.Ascii.legend ~color:false);
+  print_string (Viz.Ascii.grid ~rows:13 ~cols:13 (Viz.Cube.slice cube ~at:5));
+
+  header "Fig 4 — MG u as a strip";
+  print_string (Viz.Strip.to_ascii (Viz.Strip.of_report (Crit.find mg "u")));
+
+  header "Fig 5 — MG r: the repetitive pattern";
+  let r_strip = Viz.Strip.of_report (Crit.find mg "r") in
+  print_string (Viz.Strip.to_ascii r_strip);
+  Printf.printf "zoom into three rows of the finest level (stride 34):\n";
+  Printf.printf "|%s|\n" (Viz.Strip.window ~width:102 r_strip ~lo:(34 * 34) ~hi:((34 * 34) + (3 * 34)));
+
+  header "Fig 6 — CG x";
+  print_string (Viz.Strip.to_ascii (Viz.Strip.of_report (Crit.find cg "x")));
+
+  header "Fig 7 — LU u[x][y][z][4]";
+  let u4 = Viz.Cube.component ~dims4:[| 12; 13; 13; 5 |]
+      (Crit.find lu "u").Crit.mask ~m:4
+  in
+  let crit, unc = Viz.Cube.counts u4 in
+  Printf.printf "%d critical / %d uncritical\n" crit unc;
+  Printf.printf "boundary slice (k=0) vs interior slice (k=5):\n";
+  print_string (Viz.Ascii.grid ~rows:13 ~cols:13 (Viz.Cube.slice u4 ~at:0));
+  print_newline ();
+  print_string (Viz.Ascii.grid ~rows:13 ~cols:13 (Viz.Cube.slice u4 ~at:5));
+
+  header "Fig 8 — FT y (padding column at x = 64)";
+  let ft = analyze "ft" in
+  let y = Crit.find ft "y" in
+  Printf.printf "%d uncritical of %d; " (Crit.uncritical y) (Crit.total y);
+  let cube = Viz.Cube.of_mask ~dims:[| 64; 64; 65 |] y.Crit.mask in
+  Printf.printf "uncritical planes: %s\n"
+    (String.concat ", " (Viz.Cube.uncritical_planes cube));
+  Printf.printf "first 4 rows of slice z=0 (65th column is the padding):\n";
+  let sl = Viz.Cube.slice cube ~at:0 in
+  print_string (Viz.Ascii.grid ~rows:4 ~cols:65 (Array.sub sl 0 (4 * 65)))

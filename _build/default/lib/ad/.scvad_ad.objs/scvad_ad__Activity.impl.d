@@ -1,0 +1,1 @@
+lib/ad/activity.ml: Dep_tape Scalar Stdlib

@@ -1,0 +1,1 @@
+lib/ad/activity.mli: Dep_tape Scalar

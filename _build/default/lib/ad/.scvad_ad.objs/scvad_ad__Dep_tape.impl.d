@@ -1,0 +1,1 @@
+lib/ad/dep_tape.ml: Array1 Bigarray Bytes Char Int32 Stdlib

@@ -1,0 +1,1 @@
+lib/ad/dep_tape.mli:

@@ -1,0 +1,1 @@
+lib/ad/dual.ml: Scalar Stdlib

@@ -1,0 +1,1 @@
+lib/ad/dual.mli: Scalar

@@ -1,0 +1,1 @@
+lib/ad/finite_diff.mli:

@@ -1,0 +1,1 @@
+lib/ad/float_scalar.ml: Stdlib

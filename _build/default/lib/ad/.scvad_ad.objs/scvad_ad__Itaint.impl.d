@@ -1,0 +1,1 @@
+lib/ad/itaint.ml: Array Dep_tape

@@ -1,0 +1,1 @@
+lib/ad/itaint.mli: Dep_tape

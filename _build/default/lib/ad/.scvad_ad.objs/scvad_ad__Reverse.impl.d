@@ -1,0 +1,1 @@
+lib/ad/reverse.ml: Scalar Stdlib Tape

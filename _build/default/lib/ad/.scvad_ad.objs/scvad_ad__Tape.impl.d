@@ -1,0 +1,1 @@
+lib/ad/tape.ml: Array1 Bigarray Int32 Stdlib

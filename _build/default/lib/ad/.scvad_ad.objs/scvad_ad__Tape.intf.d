@@ -1,0 +1,1 @@
+lib/ad/tape.mli:

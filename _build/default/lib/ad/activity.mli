@@ -1,0 +1,27 @@
+(** Dependence-only ("activity") analysis mode.
+
+    Drop-in alternative to {!Reverse} with the same lift/run/backward
+    protocol, but tracking only data-flow edges.  An element is {e active}
+    when the output is reachable from it in the dependence graph — an
+    over-approximation of criticality (a reachable element can still have
+    an exactly-zero derivative). *)
+
+type t = { id : int; v : float }
+
+val const : float -> t
+val value : t -> float
+val node_id : t -> int
+val is_const : t -> bool
+val var : Dep_tape.t -> float -> t
+val lift : Dep_tape.t -> t -> t
+
+module Scalar_of (_ : sig
+  val tape : Dep_tape.t
+end) : Scalar.S with type t = t
+
+type result
+
+val backward : Dep_tape.t -> t -> result
+
+(** Does the output depend on this value? *)
+val active : result -> t -> bool

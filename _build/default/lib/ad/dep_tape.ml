@@ -1,0 +1,67 @@
+(* Edges-only dependence tape: like {!Tape} but without partial
+   derivatives (8 bytes per node).  Backed by {!Activity} (float
+   dependence analysis) and {!Itaint} (integer dependence analysis);
+   criticality is reverse reachability from the output node. *)
+
+type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { mutable n : int; mutable lhs : i32; mutable rhs : i32 }
+
+let alloc n : i32 = Bigarray.(Array1.create int32 c_layout n)
+
+let create ?(capacity = 1024) () =
+  let capacity = Stdlib.max capacity 16 in
+  { n = 0; lhs = alloc capacity; rhs = alloc capacity }
+
+let length t = t.n
+let capacity t = Bigarray.Array1.dim t.lhs
+let clear t = t.n <- 0
+
+let grow t =
+  let old = capacity t in
+  let lhs = alloc (old * 2) and rhs = alloc (old * 2) in
+  Bigarray.Array1.(blit t.lhs (sub lhs 0 old));
+  Bigarray.Array1.(blit t.rhs (sub rhs 0 old));
+  t.lhs <- lhs;
+  t.rhs <- rhs
+
+let push t l r =
+  if t.n = capacity t then grow t;
+  let i = t.n in
+  t.lhs.{i} <- Int32.of_int l;
+  t.rhs.{i} <- Int32.of_int r;
+  t.n <- i + 1;
+  i
+
+let fresh_var t = push t (-1) (-1)
+let push1 t p = push t p (-1)
+let push2 t l r = push t l r
+
+(* Set of nodes the output depends on, as a bitset. *)
+type reach = { bits : Bytes.t; upto : int }
+
+let mark bits i =
+  let byte = i lsr 3 and bit = i land 7 in
+  Bytes.unsafe_set bits byte
+    (Char.chr (Char.code (Bytes.unsafe_get bits byte) lor (1 lsl bit)))
+
+let marked bits i =
+  let byte = i lsr 3 and bit = i land 7 in
+  Char.code (Bytes.unsafe_get bits byte) land (1 lsl bit) <> 0
+
+let backward t ~output =
+  if output < 0 || output >= t.n then
+    invalid_arg "Dep_tape.backward: output is not a tape node";
+  let bits = Bytes.make ((output / 8) + 1) '\000' in
+  mark bits output;
+  for i = output downto 0 do
+    if marked bits i then begin
+      let l = Int32.to_int t.lhs.{i} in
+      if l >= 0 then mark bits l;
+      let r = Int32.to_int t.rhs.{i} in
+      if r >= 0 then mark bits r
+    end
+  done;
+  { bits; upto = output }
+
+let reachable g id = id >= 0 && id <= g.upto && marked g.bits id

@@ -1,0 +1,61 @@
+(* Forward-mode AD: dual numbers (v, d) with d the tangent.
+
+   One run propagates the sensitivity of every intermediate to a single
+   seeded input.  The analyzer's "forward probe" mode uses this to
+   scrutinize one element per run — the naive reading of the paper's
+   "inspect every single element" — and serves as an independent oracle
+   for the reverse engine. *)
+
+type t = { v : float; d : float }
+
+let const v = { v; d = 0. }
+let var v = { v; d = 1. }
+let value x = x.v
+let tangent x = x.d
+
+module Scalar : Scalar.S with type t = t = struct
+  type nonrec t = t
+
+  let zero = const 0.
+  let one = const 1.
+  let of_float = const
+  let of_int i = const (float_of_int i)
+  let to_float x = x.v
+
+  let ( +. ) a b = { v = a.v +. b.v; d = a.d +. b.d }
+  let ( -. ) a b = { v = a.v -. b.v; d = a.d -. b.d }
+  let ( *. ) a b = Stdlib.{ v = a.v *. b.v; d = (a.d *. b.v) +. (a.v *. b.d) }
+
+  let ( /. ) a b =
+    let v = Stdlib.(a.v /. b.v) in
+    { v; d = Stdlib.((a.d -. (v *. b.d)) /. b.v) }
+
+  let ( ~-. ) a = { v = -.a.v; d = -.a.d }
+
+  let sqrt a =
+    let v = Stdlib.sqrt a.v in
+    { v; d = Stdlib.(a.d *. 0.5 /. v) }
+
+  let exp a =
+    let v = Stdlib.exp a.v in
+    { v; d = Stdlib.(a.d *. v) }
+
+  let log a = { v = Stdlib.log a.v; d = Stdlib.(a.d /. a.v) }
+  let sin a = { v = Stdlib.sin a.v; d = Stdlib.(a.d *. cos a.v) }
+  let cos a = { v = Stdlib.cos a.v; d = Stdlib.(-.a.d *. sin a.v) }
+
+  let abs a =
+    {
+      v = Stdlib.abs_float a.v;
+      d = (if a.v >= 0. then a.d else Stdlib.( ~-. ) a.d);
+    }
+
+  let max a b = if a.v >= b.v then a else b
+  let min a b = if a.v <= b.v then a else b
+  let compare a b = Stdlib.compare a.v b.v
+  let equal a b = a.v = b.v
+  let ( < ) a b = a.v < b.v
+  let ( <= ) a b = a.v <= b.v
+  let ( > ) a b = a.v > b.v
+  let ( >= ) a b = a.v >= b.v
+end

@@ -1,0 +1,20 @@
+(** Forward-mode AD with dual numbers.
+
+    [var x] seeds a tangent of 1; after running the program, {!tangent} of
+    the output is the derivative with respect to that single seeded input.
+    Complements {!Reverse}: one run per input instead of one sweep for all
+    inputs. *)
+
+type t = { v : float; d : float }
+
+val const : float -> t
+
+(** Seeded input: tangent 1. *)
+val var : float -> t
+
+val value : t -> float
+
+(** Derivative part. *)
+val tangent : t -> float
+
+module Scalar : Scalar.S with type t = t

@@ -1,0 +1,19 @@
+(* Central finite differences: the derivative oracle used by the test
+   suite to validate both AD engines against a method with no shared
+   code. *)
+
+let default_step = 1e-6
+
+(* d f / d x.(i) by central difference; [x] is restored afterwards. *)
+let derivative ?(h = default_step) (f : float array -> float)
+    (x : float array) (i : int) =
+  let saved = x.(i) in
+  x.(i) <- saved +. h;
+  let fp = f x in
+  x.(i) <- saved -. h;
+  let fm = f x in
+  x.(i) <- saved;
+  (fp -. fm) /. (2. *. h)
+
+(* Full gradient, one central difference per coordinate. *)
+let gradient ?h f x = Array.init (Array.length x) (fun i -> derivative ?h f x i)

@@ -1,0 +1,15 @@
+(** Central-difference numerical derivatives.
+
+    Independent oracle for the AD engines: shares no code with the tapes,
+    so agreement (within truncation error) is strong evidence of
+    correctness. *)
+
+val default_step : float
+
+(** [derivative ?h f x i] ≈ ∂f/∂x{_i} at [x] by central difference with
+    step [h].  [x] is mutated during evaluation and restored before
+    returning. *)
+val derivative : ?h:float -> (float array -> float) -> float array -> int -> float
+
+(** Full gradient, one {!derivative} call per coordinate. *)
+val gradient : ?h:float -> (float array -> float) -> float array -> float array

@@ -1,0 +1,7 @@
+(** Plain-float instantiation of {!Scalar.S}.
+
+    This is the production mode: all operations alias the [Stdlib] float
+    primitives, so a kernel functor applied to [Float_scalar] compiles to
+    ordinary float code. *)
+
+include Scalar.S with type t = float

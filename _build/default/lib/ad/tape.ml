@@ -1,0 +1,96 @@
+(* Reverse-mode tape: a compact, append-only record of the data-flow graph.
+
+   Each node has at most two parents.  Parents and local partial
+   derivatives are stored in Bigarrays (24 bytes per node) so that tapes
+   with tens of millions of nodes — e.g. an FT class-S inverse 3-D FFT —
+   fit comfortably in memory and put no pressure on the OCaml GC. *)
+
+type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  mutable n : int;
+  mutable lhs : i32; (* parent index, or -1 for none *)
+  mutable rhs : i32;
+  mutable dlhs : f64; (* d node / d lhs *)
+  mutable drhs : f64;
+}
+
+let alloc_i32 n : i32 = Bigarray.(Array1.create int32 c_layout n)
+let alloc_f64 n : f64 = Bigarray.(Array1.create float64 c_layout n)
+
+let create ?(capacity = 1024) () =
+  let capacity = Stdlib.max capacity 16 in
+  {
+    n = 0;
+    lhs = alloc_i32 capacity;
+    rhs = alloc_i32 capacity;
+    dlhs = alloc_f64 capacity;
+    drhs = alloc_f64 capacity;
+  }
+
+let length t = t.n
+let capacity t = Bigarray.Array1.dim t.lhs
+
+(* Bytes of tape storage currently reserved (diagnostic). *)
+let reserved_bytes t = capacity t * 24
+
+let clear t = t.n <- 0
+
+let grow t =
+  let old = capacity t in
+  let cap = old * 2 in
+  let lhs = alloc_i32 cap and rhs = alloc_i32 cap in
+  let dlhs = alloc_f64 cap and drhs = alloc_f64 cap in
+  Bigarray.Array1.(blit t.lhs (sub lhs 0 old));
+  Bigarray.Array1.(blit t.rhs (sub rhs 0 old));
+  Bigarray.Array1.(blit t.dlhs (sub dlhs 0 old));
+  Bigarray.Array1.(blit t.drhs (sub drhs 0 old));
+  t.lhs <- lhs;
+  t.rhs <- rhs;
+  t.dlhs <- dlhs;
+  t.drhs <- drhs
+
+(* Raw node append; returns the new node id. *)
+let push t l dl r dr =
+  if t.n = capacity t then grow t;
+  let i = t.n in
+  t.lhs.{i} <- Int32.of_int l;
+  t.rhs.{i} <- Int32.of_int r;
+  t.dlhs.{i} <- dl;
+  t.drhs.{i} <- dr;
+  t.n <- i + 1;
+  i
+
+(* An input (independent) variable: a parentless node. *)
+let fresh_var t = push t (-1) 0. (-1) 0.
+
+let push1 t parent partial = push t parent partial (-1) 0.
+let push2 t l dl r dr = push t l dl r dr
+
+(* Adjoint accumulator produced by a backward sweep. *)
+type adjoints = { adj : f64; upto : int }
+
+(* Reverse sweep from [output].  One pass computes d output / d node for
+   every node at or below [output] — this is what lets the analysis
+   scrutinize every element of every checkpoint variable at once. *)
+let backward t ~output =
+  if output < 0 || output >= t.n then
+    invalid_arg "Tape.backward: output is not a tape node";
+  let adj = alloc_f64 (output + 1) in
+  Bigarray.Array1.fill adj 0.;
+  adj.{output} <- 1.;
+  for i = output downto 0 do
+    let a = adj.{i} in
+    if a <> 0. then begin
+      let l = Int32.to_int t.lhs.{i} in
+      if l >= 0 then adj.{l} <- adj.{l} +. (a *. t.dlhs.{i});
+      let r = Int32.to_int t.rhs.{i} in
+      if r >= 0 then adj.{r} <- adj.{r} +. (a *. t.drhs.{i})
+    end
+  done;
+  { adj; upto = output }
+
+(* Adjoint of a node; nodes above the output (or constants, id = -1)
+   cannot influence it, so their adjoint is 0. *)
+let adjoint g id = if id < 0 || id > g.upto then 0. else g.adj.{id}

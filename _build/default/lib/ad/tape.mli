@@ -1,0 +1,50 @@
+(** Compact reverse-mode tape.
+
+    The tape is an append-only record of the data-flow graph of a program
+    execution: one node per arithmetic operation, each with at most two
+    parent nodes and the local partial derivatives towards them.  Storage
+    is Bigarray-backed (24 bytes per node), so large kernels — tens of
+    millions of nodes — stay off the OCaml heap.
+
+    {!Reverse} provides the operator-overloading front end; most users
+    never call [push1]/[push2] directly. *)
+
+type t
+
+(** [create ?capacity ()] makes an empty tape.  The tape grows by doubling
+    as nodes are pushed. *)
+val create : ?capacity:int -> unit -> t
+
+(** Number of nodes currently recorded. *)
+val length : t -> int
+
+(** Currently reserved node slots. *)
+val capacity : t -> int
+
+(** Bytes of off-heap storage currently reserved (diagnostic). *)
+val reserved_bytes : t -> int
+
+(** Drop all nodes (storage is retained for reuse). *)
+val clear : t -> unit
+
+(** New independent (input) variable node; returns its id. *)
+val fresh_var : t -> int
+
+(** [push1 t p dp] appends a unary node with parent [p] and local partial
+    [dp]; returns the node id. *)
+val push1 : t -> int -> float -> int
+
+(** [push2 t l dl r dr] appends a binary node. *)
+val push2 : t -> int -> float -> int -> float -> int
+
+(** Result of a backward sweep. *)
+type adjoints
+
+(** [backward t ~output] runs one reverse sweep seeded with
+    [d output / d output = 1] and returns the adjoint of every node at or
+    below [output].  Cost is one linear pass over the tape. *)
+val backward : t -> output:int -> adjoints
+
+(** [adjoint g id] is [d output / d node]; 0 for constants ([id < 0]) and
+    for nodes recorded after the output. *)
+val adjoint : adjoints -> int -> float

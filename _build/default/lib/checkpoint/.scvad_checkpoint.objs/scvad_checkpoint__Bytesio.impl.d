@@ -1,0 +1,1 @@
+lib/checkpoint/bytesio.ml: Buffer Char Int64 String

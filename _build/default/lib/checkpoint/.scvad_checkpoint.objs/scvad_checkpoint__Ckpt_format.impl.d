@@ -1,0 +1,1 @@
+lib/checkpoint/ckpt_format.ml: Array Buffer Bytesio Crc32 Int32 Int64 List Printf Regions String

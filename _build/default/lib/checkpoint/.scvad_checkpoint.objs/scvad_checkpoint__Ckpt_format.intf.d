@@ -1,0 +1,1 @@
+lib/checkpoint/ckpt_format.mli: Regions

@@ -1,0 +1,1 @@
+lib/checkpoint/crc32.mli: Bytes

@@ -1,0 +1,1 @@
+lib/checkpoint/failure.ml: Float Int64

@@ -1,0 +1,1 @@
+lib/checkpoint/failure.mli:

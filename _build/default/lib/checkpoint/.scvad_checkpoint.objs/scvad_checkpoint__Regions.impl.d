@@ -1,0 +1,1 @@
+lib/checkpoint/regions.ml: Array List Printf String

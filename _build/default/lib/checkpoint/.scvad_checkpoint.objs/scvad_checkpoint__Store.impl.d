@@ -1,0 +1,1 @@
+lib/checkpoint/store.ml: Array Ckpt_format Filename List Printf String Sys Unix

@@ -1,0 +1,71 @@
+(* Little-endian binary encoding helpers for the checkpoint format. *)
+
+module Wr = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let u8 b x = Buffer.add_char b (Char.chr (x land 0xFF))
+
+  let u32 b x =
+    if x < 0 then invalid_arg "Bytesio.u32: negative";
+    for i = 0 to 3 do
+      u8 b ((x lsr (8 * i)) land 0xFF)
+    done
+
+  let i64 b (x : int64) =
+    for i = 0 to 7 do
+      u8 b (Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xFF)
+    done
+
+  let int_as_i64 b x = i64 b (Int64.of_int x)
+  let f64 b x = i64 b (Int64.bits_of_float x)
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let contents = Buffer.contents
+end
+
+module Rd = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Underrun
+
+  let of_string data = { data; pos = 0 }
+  let remaining r = String.length r.data - r.pos
+
+  let u8 r =
+    if r.pos >= String.length r.data then raise Underrun;
+    let x = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    x
+
+  let u32 r =
+    let b0 = u8 r in
+    let b1 = u8 r in
+    let b2 = u8 r in
+    let b3 = u8 r in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+  let i64 r =
+    let acc = ref 0L in
+    for i = 0 to 7 do
+      acc := Int64.logor !acc (Int64.shift_left (Int64.of_int (u8 r)) (8 * i))
+    done;
+    !acc
+
+  let int_from_i64 r = Int64.to_int (i64 r)
+  let f64 r = Int64.float_of_bits (i64 r)
+
+  (* [len] raw bytes without a length prefix. *)
+  let raw r len =
+    if remaining r < len then raise Underrun;
+    let s = String.sub r.data r.pos len in
+    r.pos <- r.pos + len;
+    s
+
+  let str r =
+    let len = u32 r in
+    raw r len
+end

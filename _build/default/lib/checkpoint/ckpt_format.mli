@@ -1,0 +1,63 @@
+(** Checkpoint file format: header, one section per checkpoint variable,
+    trailing CRC-32.
+
+    A {e full} section carries every scalar of its variable (the paper's
+    baseline).  A {e pruned} section carries only the elements covered by
+    its critical {!Regions} plus the region bounds themselves — the
+    paper's optimized checkpoint with its auxiliary file. *)
+
+exception Corrupt of string
+
+val magic : string
+
+type payload =
+  | F64 of float array
+  | I64 of int array
+  | F32 of float array
+      (** values rounded to IEEE single precision on encode — the
+          mixed-precision extension (4 bytes per scalar) *)
+
+type section = {
+  name : string;
+  dims : int array;  (** logical element shape *)
+  spe : int;  (** scalars per logical element (2 for FT's dcomplex) *)
+  regions : Regions.t option;  (** [None] = full section *)
+  payload : payload;  (** packed values, element-major *)
+}
+
+type file = { app : string; iteration : int; sections : section list }
+
+(** Number of logical elements of the variable. *)
+val element_count : section -> int
+
+(** Serialize; raises [Invalid_argument] on malformed sections. *)
+val encode : file -> string
+
+(** Parse and verify CRC; raises {!Corrupt}. *)
+val decode : string -> file
+
+(** Pack the critical elements of a full scalar buffer (length
+    [elements * spe]) into a pruned payload. *)
+val gather_f64 : data:float array -> spe:int -> Regions.t -> float array
+
+val gather_i64 : data:int array -> spe:int -> Regions.t -> int array
+
+(** Expand a section to a full scalar buffer; slots outside the regions
+    receive [poison] (proving on restart that they are never read). *)
+val scatter_f64 : section -> poison:float -> float array
+
+val scatter_i64 : section -> poison:int -> int array
+
+(** Payload bytes (8 per double/int scalar, 4 per single), the paper's
+    storage metric. *)
+val payload_bytes : section -> int
+
+(** Bytes of region metadata (the auxiliary-file cost); 0 when full. *)
+val aux_bytes : section -> int
+
+(** Sidecar auxiliary file in the paper's spirit: one line per pruned
+    variable with its critical spans. *)
+val aux_file_string : file -> string
+
+val write_file : string -> file -> unit
+val read_file : string -> file

@@ -1,0 +1,27 @@
+(* CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.  Guards every
+   checkpoint file against torn writes and bit rot. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc (bytes : Bytes.t) off len =
+  let table = Lazy.force table in
+  let crc = ref (Int32.lognot crc) in
+  for i = off to off + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code (Bytes.unsafe_get bytes i)))) 0xFFl)
+    in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.lognot !crc
+
+let of_bytes bytes = update 0l bytes 0 (Bytes.length bytes)
+let of_string s = of_bytes (Bytes.unsafe_of_string s)

@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE), table-driven.  Integrity check for checkpoint files. *)
+
+(** [update crc bytes off len] extends a running checksum. Start from
+    [0l]. *)
+val update : int32 -> Bytes.t -> int -> int -> int32
+
+val of_bytes : Bytes.t -> int32
+val of_string : string -> int32

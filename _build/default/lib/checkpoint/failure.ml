@@ -1,0 +1,38 @@
+(* Failure injection.
+
+   The paper validates criticality by killing the run and restarting from
+   a checkpoint that carries only critical elements (§IV-C).  [Crash]
+   models the failure; [poison] values model the garbage that uncritical
+   elements hold after a restart — NaN is the default because it
+   propagates loudly if an "uncritical" element is ever actually read. *)
+
+exception Crash of { iteration : int }
+
+(* Raise when the run reaches the sabotaged iteration. *)
+let crash_if ~at ~iteration =
+  if iteration = at then raise (Crash { iteration })
+
+type poison = Nan | Zero | Garbage of float
+
+let poison_value = function
+  | Nan -> Float.nan
+  | Zero -> 0.
+  | Garbage v -> v
+
+(* Integer poison: an outlandish sentinel rather than NaN. *)
+let int_poison_value = function
+  | Nan -> min_int / 2
+  | Zero -> 0
+  | Garbage v -> int_of_float v
+
+(* Silent-data-corruption model: flip one mantissa/exponent/sign bit of
+   a double (bit 0 = lowest mantissa bit, bit 63 = sign).  The paper's
+   premise in reverse: corrupting an uncritical element must not change
+   the output; corrupting a critical element generally must. *)
+let flip_bit x ~bit =
+  if bit < 0 || bit > 63 then invalid_arg "Failure.flip_bit: bit in 0..63";
+  Int64.float_of_bits (Int64.logxor (Int64.bits_of_float x) (Int64.shift_left 1L bit))
+
+let flip_int_bit x ~bit =
+  if bit < 0 || bit > 62 then invalid_arg "Failure.flip_int_bit: bit in 0..62";
+  x lxor (1 lsl bit)

@@ -1,0 +1,25 @@
+(** Failure injection for checkpoint/restart validation.
+
+    Models the paper's §IV-C experiment: crash the run, restore only the
+    critical elements, poison the rest, and require the application's own
+    verification to pass. *)
+
+exception Crash of { iteration : int }
+
+(** [crash_if ~at ~iteration] raises {!Crash} when the run reaches the
+    sabotaged iteration. *)
+val crash_if : at:int -> iteration:int -> unit
+
+(** What uncritical elements hold after a restart.  [Nan] (default
+    elsewhere) propagates loudly if such an element is ever read. *)
+type poison = Nan | Zero | Garbage of float
+
+val poison_value : poison -> float
+val int_poison_value : poison -> int
+
+(** Silent-data-corruption model: flip one IEEE-754 bit (0 = lowest
+    mantissa bit, 63 = sign).  Raises outside 0..63. *)
+val flip_bit : float -> bit:int -> float
+
+(** Flip one bit of an int (0..62). *)
+val flip_int_bit : int -> bit:int -> int

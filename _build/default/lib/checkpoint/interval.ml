@@ -1,0 +1,81 @@
+(* Checkpoint interval theory: Young's and Daly's classical models.
+
+   The paper reduces the cost C of writing one checkpoint (by pruning
+   uncritical elements).  These models translate that saving into what a
+   system operator actually feels: the optimal checkpoint interval
+   tau* and the expected fraction of machine time lost to
+   checkpointing + failures, as a function of C and the mean time
+   between failures M.
+
+     Young (1974):  tau* = sqrt(2 C M)
+     Daly  (2006):  tau* = sqrt(2 C (M + R)) * [1 + ...] refinement,
+                    valid for C << M; falls back to M for huge C.
+
+   Expected overhead model (first order, failure rate 1/M, restart cost
+   R, rework of tau/2 on average):
+
+     overhead(tau) = C / tau                 (checkpointing)
+                   + (tau/2 + R + C) / M     (lost work per failure)   *)
+
+type params = {
+  checkpoint_cost : float; (* C: seconds to write one checkpoint *)
+  mtbf : float; (* M: mean time between failures, seconds *)
+  restart_cost : float; (* R: seconds to restore and resume *)
+}
+
+let validate { checkpoint_cost; mtbf; restart_cost } =
+  if checkpoint_cost <= 0. || mtbf <= 0. || restart_cost < 0. then
+    invalid_arg "Interval: need C > 0, M > 0, R >= 0"
+
+(* Young's optimum. *)
+let young p =
+  validate p;
+  sqrt (2. *. p.checkpoint_cost *. p.mtbf)
+
+(* Daly's higher-order optimum (2006), his eq. (37): for C < 2M,
+   tau* = sqrt(2 C M) * [1 + sqrt(C / (2 M)) / 3 + C / (9 M)] - C,
+   else tau* = M. *)
+let daly p =
+  validate p;
+  let c = p.checkpoint_cost and m = p.mtbf in
+  if c >= 2. *. m then m
+  else begin
+    let x = sqrt (c /. (2. *. m)) in
+    (sqrt (2. *. c *. m) *. (1. +. (x /. 3.) +. (c /. (9. *. m)))) -. c
+  end
+
+(* Expected fraction of wall-clock time lost to checkpointing and
+   failure recovery when checkpointing every [tau] seconds. *)
+let expected_overhead p ~tau =
+  validate p;
+  if tau <= 0. then invalid_arg "Interval.expected_overhead: tau <= 0";
+  (p.checkpoint_cost /. tau)
+  +. (((tau /. 2.) +. p.restart_cost +. p.checkpoint_cost) /. p.mtbf)
+
+(* Overhead at the Young optimum. *)
+let optimal_overhead p = expected_overhead p ~tau:(young p)
+
+(* The effect of pruning: scale the checkpoint cost by the kept
+   fraction (the paper's storage saving maps directly to write cost on
+   bandwidth-bound storage) and report both operating points. *)
+type comparison = {
+  full : params;
+  pruned : params;
+  full_tau : float;
+  pruned_tau : float;
+  full_overhead : float;
+  pruned_overhead : float;
+}
+
+let compare_pruning p ~kept_fraction =
+  if kept_fraction <= 0. || kept_fraction > 1. then
+    invalid_arg "Interval.compare_pruning: kept_fraction in (0, 1]";
+  let pruned = { p with checkpoint_cost = p.checkpoint_cost *. kept_fraction } in
+  {
+    full = p;
+    pruned;
+    full_tau = young p;
+    pruned_tau = young pruned;
+    full_overhead = optimal_overhead p;
+    pruned_overhead = optimal_overhead pruned;
+  }

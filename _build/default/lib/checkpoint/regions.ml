@@ -1,0 +1,86 @@
+(* Contiguous critical regions — the paper's auxiliary file.
+
+   "The auxiliary file only records the start and end locations of the
+   region of continuous critical elements" (§III-B).  A region set is a
+   sorted list of disjoint, non-adjacent, non-empty half-open intervals
+   [start, stop).  Only critical elements fall inside a region; the
+   pruned checkpoint stores exactly those elements. *)
+
+type span = { start : int; stop : int }
+
+type t = span list
+
+let empty = []
+let spans t = t
+let count_regions = List.length
+
+(* Number of elements covered. *)
+let cardinal t = List.fold_left (fun acc s -> acc + s.stop - s.start) 0 t
+
+let is_well_formed t =
+  let rec go prev_stop = function
+    | [] -> true
+    | { start; stop } :: rest ->
+        (* non-empty, strictly after the previous span with a gap
+           (adjacent spans must have been merged) *)
+        start >= 0 && stop > start && start > prev_stop
+        && go stop rest
+  in
+  (* prev_stop = -1 allows a first span starting at 0 but forbids
+     adjacency with the imaginary previous span. *)
+  match t with
+  | [] -> true
+  | { start; stop } :: rest -> start >= 0 && stop > start && go stop rest
+
+(* Build from a criticality mask: one span per maximal run of [true]. *)
+let of_mask (mask : bool array) =
+  let n = Array.length mask in
+  let rec scan i acc =
+    if i >= n then List.rev acc
+    else if not mask.(i) then scan (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && mask.(!j) do
+        incr j
+      done;
+      scan !j ({ start = i; stop = !j } :: acc)
+    end
+  in
+  scan 0 []
+
+let to_mask ~total t =
+  let mask = Array.make total false in
+  List.iter
+    (fun { start; stop } ->
+      if start < 0 || stop > total then
+        invalid_arg "Regions.to_mask: span out of bounds";
+      Array.fill mask start (stop - start) true)
+    t;
+  mask
+
+let mem t i = List.exists (fun { start; stop } -> i >= start && i < stop) t
+
+(* Uncritical side: the gaps between spans within [0, total). *)
+let complement ~total t =
+  let rec go pos = function
+    | [] -> if pos < total then [ { start = pos; stop = total } ] else []
+    | { start; stop } :: rest ->
+        let tail = go stop rest in
+        if pos < start then { start = pos; stop = start } :: tail else tail
+  in
+  go 0 t
+
+let iter_elements t f =
+  List.iter
+    (fun { start; stop } ->
+      for i = start to stop - 1 do
+        f i
+      done)
+    t
+
+(* Bytes the paper's auxiliary file costs: two offsets per region. *)
+let aux_bytes ?(bytes_per_bound = 8) t = 2 * bytes_per_bound * List.length t
+
+let to_string t =
+  String.concat ","
+    (List.map (fun { start; stop } -> Printf.sprintf "%d-%d" start stop) t)

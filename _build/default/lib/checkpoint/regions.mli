@@ -1,0 +1,36 @@
+(** Contiguous critical regions — the paper's "auxiliary file" encoding.
+
+    A region set is a sorted list of disjoint, non-adjacent, non-empty
+    half-open spans of element indices; spans cover exactly the critical
+    elements of one checkpoint variable. *)
+
+type span = { start : int; stop : int }
+type t = span list
+
+val empty : t
+val spans : t -> span list
+val count_regions : t -> int
+
+(** Number of covered (critical) elements. *)
+val cardinal : t -> int
+
+(** Sortedness / disjointness / minimality invariant. *)
+val is_well_formed : t -> bool
+
+(** One span per maximal run of [true] in a criticality mask. *)
+val of_mask : bool array -> t
+
+val to_mask : total:int -> t -> bool array
+val mem : t -> int -> bool
+
+(** The uncovered (uncritical) spans within [0, total). *)
+val complement : total:int -> t -> t
+
+(** Visit covered element indices in increasing order. *)
+val iter_elements : t -> (int -> unit) -> unit
+
+(** Size of the auxiliary metadata: two bounds per region. *)
+val aux_bytes : ?bytes_per_bound:int -> t -> int
+
+(** E.g. ["0-39304,46416-46480"]. *)
+val to_string : t -> string

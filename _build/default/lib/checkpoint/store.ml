@@ -1,0 +1,94 @@
+(* Versioned checkpoint directory.
+
+   One file per checkpointed iteration, written atomically (temp file +
+   rename) so a crash mid-write can never corrupt the latest good
+   checkpoint; optional rotation keeps the newest [keep_last] files, the
+   usual HPC practice of retaining several checkpoint versions. *)
+
+type t = { dir : string; keep_last : int option }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?keep_last dir =
+  (match keep_last with
+  | Some k when k < 1 -> invalid_arg "Store.create: keep_last must be >= 1"
+  | _ -> ());
+  mkdir_p dir;
+  { dir; keep_last }
+
+let dir t = t.dir
+let basename iteration = Printf.sprintf "ckpt_%09d.scvd" iteration
+let path_of_iteration t iteration = Filename.concat t.dir (basename iteration)
+
+let iteration_of_basename name =
+  let prefix = "ckpt_" and suffix = ".scvd" in
+  let plen = String.length prefix and slen = String.length suffix in
+  if
+    String.length name > plen + slen
+    && String.sub name 0 plen = prefix
+    && Filename.check_suffix name suffix
+  then int_of_string_opt (String.sub name plen (String.length name - plen - slen))
+  else None
+
+let list_iterations t =
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter_map iteration_of_basename
+  |> List.sort compare
+
+let rotate t =
+  match t.keep_last with
+  | None -> ()
+  | Some k ->
+      let iters = list_iterations t in
+      let excess = List.length iters - k in
+      if excess > 0 then
+        List.iteri
+          (fun i it ->
+            if i < excess then Sys.remove (path_of_iteration t it))
+          iters
+
+(* Atomic save; also writes the sidecar auxiliary file when any section
+   is pruned.  Returns the checkpoint path. *)
+let save ?(sidecar_aux = false) t (file : Ckpt_format.file) =
+  let path = path_of_iteration t file.iteration in
+  let tmp = path ^ ".tmp" in
+  Ckpt_format.write_file tmp file;
+  Sys.rename tmp path;
+  if sidecar_aux then begin
+    let aux = Ckpt_format.aux_file_string file in
+    if aux <> "" then begin
+      let aux_path = path ^ ".aux" in
+      let tmp_aux = aux_path ^ ".tmp" in
+      let oc = open_out tmp_aux in
+      output_string oc aux;
+      close_out oc;
+      Sys.rename tmp_aux aux_path
+    end
+  end;
+  rotate t;
+  path
+
+let load t iteration = Ckpt_format.read_file (path_of_iteration t iteration)
+
+let latest t =
+  match List.rev (list_iterations t) with
+  | [] -> None
+  | it :: _ -> Some (load t it)
+
+(* Bytes on disk of one checkpoint (incl. its sidecar, if present). *)
+let disk_bytes t iteration =
+  let path = path_of_iteration t iteration in
+  let size p = if Sys.file_exists p then (Unix.stat p).Unix.st_size else 0 in
+  size path + size (path ^ ".aux")
+
+(* Remove every checkpoint (and sidecar) in the store. *)
+let wipe t =
+  Array.iter
+    (fun name ->
+      if String.length name >= 5 && String.sub name 0 5 = "ckpt_" then
+        Sys.remove (Filename.concat t.dir name))
+    (Sys.readdir t.dir)

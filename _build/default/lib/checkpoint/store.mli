@@ -1,0 +1,30 @@
+(** Versioned checkpoint directory with atomic writes and rotation. *)
+
+type t
+
+(** [create ?keep_last dir] opens (creating if needed) a checkpoint
+    directory.  With [keep_last = Some k], only the [k] newest
+    checkpoints are retained after each save. *)
+val create : ?keep_last:int -> string -> t
+
+val dir : t -> string
+val path_of_iteration : t -> int -> string
+
+(** Iterations present, ascending. *)
+val list_iterations : t -> int list
+
+(** Atomic save (temp file + rename), then rotation.  With
+    [sidecar_aux], also writes the paper-style [.aux] sidecar listing
+    critical spans.  Returns the checkpoint path. *)
+val save : ?sidecar_aux:bool -> t -> Ckpt_format.file -> string
+
+val load : t -> int -> Ckpt_format.file
+
+(** Newest checkpoint, if any. *)
+val latest : t -> Ckpt_format.file option
+
+(** On-disk bytes of one checkpoint including its sidecar. *)
+val disk_bytes : t -> int -> int
+
+(** Delete every checkpoint in the store. *)
+val wipe : t -> unit

@@ -1,0 +1,1 @@
+lib/core/analyzer.ml: Activity App Array Criticality Dep_tape Dual Float Impact List Option Reverse Scvad_ad Scvad_nd Tape Variable

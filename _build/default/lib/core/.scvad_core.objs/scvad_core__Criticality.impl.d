@@ -1,0 +1,1 @@
+lib/core/criticality.ml: Array List Scvad_checkpoint Scvad_nd

@@ -1,0 +1,1 @@
+lib/core/harness.ml: App Float_scalar Int64 List Option Printf Pruned Scvad_ad Scvad_checkpoint Variable

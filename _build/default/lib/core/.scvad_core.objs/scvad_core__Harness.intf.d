@@ -1,0 +1,1 @@
+lib/core/harness.mli: App Criticality Scvad_checkpoint

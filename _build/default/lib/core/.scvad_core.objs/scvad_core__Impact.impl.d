@@ -1,0 +1,1 @@
+lib/core/impact.ml: Array Float Hashtbl List Option Scvad_nd

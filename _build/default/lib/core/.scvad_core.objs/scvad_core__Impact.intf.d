@@ -1,0 +1,1 @@
+lib/core/impact.mli: Scvad_nd

@@ -1,0 +1,1 @@
+lib/core/incremental.ml: App Array Criticality Float_scalar Hashtbl Int64 List Pruned Scvad_ad Scvad_checkpoint Scvad_nd Variable

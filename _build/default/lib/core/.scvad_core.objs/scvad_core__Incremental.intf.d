@@ -1,0 +1,1 @@
+lib/core/incremental.mli: App Criticality Float_scalar Scvad_ad Scvad_checkpoint Variable

@@ -1,0 +1,1 @@
+lib/core/mixed.ml: Analyzer App Array Float Float_scalar Impact Int32 List Option Printf Pruned Scvad_ad Scvad_checkpoint Scvad_nd Variable

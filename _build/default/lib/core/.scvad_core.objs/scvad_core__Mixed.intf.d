@@ -1,0 +1,1 @@
+lib/core/mixed.mli: App Float_scalar Impact Scvad_ad Scvad_checkpoint Variable

@@ -1,0 +1,1 @@
+lib/core/pruned.ml: Array Criticality Float_scalar List Printf Scvad_ad Scvad_checkpoint Scvad_nd String Variable

@@ -1,0 +1,1 @@
+lib/core/pruned.mli: Criticality Float_scalar Scvad_ad Scvad_checkpoint Variable

@@ -1,0 +1,1 @@
+lib/core/report.ml: App Criticality Float_scalar List Printf Pruned Scvad_ad String Variable

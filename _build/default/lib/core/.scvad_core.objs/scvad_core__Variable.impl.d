@@ -1,0 +1,1 @@
+lib/core/variable.ml: Array List Printf Scvad_nd String

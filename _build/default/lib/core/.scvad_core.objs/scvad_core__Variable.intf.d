@@ -1,0 +1,1 @@
+lib/core/variable.mli: Scvad_nd

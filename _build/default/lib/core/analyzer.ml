@@ -1,0 +1,219 @@
+(* The scrutiny engine (paper §III-A).
+
+   Checkpoint semantics drive the setup: a checkpoint taken at main-loop
+   iteration [at_iter] only matters through what a restarted run computes
+   afterwards.  So the analysis runs the kernel to [at_iter] (free: all
+   values are AD constants), lifts every element of every checkpoint
+   variable into an independent AD variable — the checkpointed state —
+   runs the remaining iterations plus the output reduction, and asks for
+   d output / d element.  Zero derivative ⇒ uncritical.
+
+   Three interchangeable modes:
+   - [Reverse_gradient]: one taped run + one backward sweep for all
+     elements at once (what Enzyme does for the authors);
+   - [Forward_probe]: one dual-number run per element — the naive
+     reading of "inspect every single element", kept as an oracle and an
+     ablation;
+   - [Activity_dependence]: edges-only dependence reachability, cheaper
+     but ignoring zero-valued partials. *)
+
+open Scvad_ad
+
+let int_reports (module A : App.S) (int_vars : Variable.int_t list) =
+  let taint_masks =
+    match A.int_taint_masks with Some f -> f () | None -> []
+  in
+  List.map
+    (fun (iv : Variable.int_t) ->
+      let n = Variable.int_elements iv in
+      let mask =
+        match iv.Variable.icrit with
+        | Variable.Always_critical _ -> Array.make n true
+        | Variable.By_taint -> (
+            match List.assoc_opt iv.Variable.iname taint_masks with
+            | Some m when Array.length m = n -> m
+            | Some _ | None ->
+                (* No analysis answer: stay conservative (critical). *)
+                Array.make n true)
+      in
+      Criticality.of_mask ~name:iv.Variable.iname ~shape:iv.Variable.ishape
+        ~spe:1 ~kind:Criticality.Int_var mask)
+    int_vars
+
+(* One reverse pass yields both products: criticality masks (derivative
+   is zero / nonzero) and impact magnitudes (|derivative| per element),
+   which power the mixed-precision extension. *)
+let reverse_analysis (module A : App.S) ~at_iter ~niter =
+  let tape = Tape.create ~capacity:(1 lsl 16) () in
+  let module RS = Reverse.Scalar_of (struct
+    let tape = tape
+  end) in
+  let module I = A.Make (RS) in
+  let state = I.create () in
+  I.run state ~from:0 ~until:at_iter;
+  let fvars = I.float_vars state in
+  (* Capture the lifted nodes: they are the checkpointed values, even if
+     the run overwrites the variable afterwards. *)
+  let snapshots =
+    List.map (fun v -> (v, Variable.lift_capture v (Reverse.lift tape))) fvars
+  in
+  I.run state ~from:at_iter ~until:niter;
+  let g = Reverse.backward tape (I.output state) in
+  let vars =
+    List.map
+      (fun ((v : RS.t Variable.t), snapshot) ->
+        let mask =
+          Variable.element_mask_of_snapshot v snapshot (fun x ->
+              Reverse.grad g x <> 0.)
+        in
+        Criticality.of_mask ~name:v.Variable.name ~shape:v.Variable.shape
+          ~spe:v.Variable.spe ~kind:Criticality.Float_var mask)
+      snapshots
+  in
+  let impacts =
+    List.map
+      (fun ((v : RS.t Variable.t), snapshot) ->
+        let n = Variable.elements v in
+        let magnitude =
+          Array.init n (fun e ->
+              let acc = ref 0. in
+              for k = 0 to v.Variable.spe - 1 do
+                acc :=
+                  Float.max !acc
+                    (Float.abs (Reverse.grad g snapshot.((e * v.Variable.spe) + k)))
+              done;
+              !acc)
+        in
+        Impact.of_magnitudes ~name:v.Variable.name ~shape:v.Variable.shape
+          ~spe:v.Variable.spe magnitude)
+      snapshots
+  in
+  (vars, impacts, int_reports (module A) (I.int_vars state), Tape.length tape)
+
+let activity_analysis (module A : App.S) ~at_iter ~niter =
+  let tape = Dep_tape.create ~capacity:(1 lsl 16) () in
+  let module AS = Activity.Scalar_of (struct
+    let tape = tape
+  end) in
+  let module I = A.Make (AS) in
+  let state = I.create () in
+  I.run state ~from:0 ~until:at_iter;
+  let fvars = I.float_vars state in
+  let snapshots =
+    List.map (fun v -> (v, Variable.lift_capture v (Activity.lift tape))) fvars
+  in
+  I.run state ~from:at_iter ~until:niter;
+  let r = Activity.backward tape (I.output state) in
+  let vars =
+    List.map
+      (fun ((v : AS.t Variable.t), snapshot) ->
+        let mask =
+          Variable.element_mask_of_snapshot v snapshot (Activity.active r)
+        in
+        Criticality.of_mask ~name:v.Variable.name ~shape:v.Variable.shape
+          ~spe:v.Variable.spe ~kind:Criticality.Float_var mask)
+      snapshots
+  in
+  (vars, int_reports (module A) (I.int_vars state), Dep_tape.length tape)
+
+let forward_analysis (module A : App.S) ~at_iter ~niter =
+  let module I = A.Make (Dual.Scalar) in
+  (* Structure discovery run (no seeding). *)
+  let skeleton = I.create () in
+  I.run skeleton ~from:0 ~until:at_iter;
+  let shapes =
+    List.map
+      (fun (v : Dual.t Variable.t) ->
+        (v.Variable.name, v.Variable.shape, v.Variable.spe))
+      (I.float_vars skeleton)
+  in
+  (* One full re-run per scrutinized element. *)
+  let probe vindex e =
+    let state = I.create () in
+    I.run state ~from:0 ~until:at_iter;
+    let v = List.nth (I.float_vars state) vindex in
+    for k = 0 to v.Variable.spe - 1 do
+      v.Variable.set e k (Dual.var (Dual.value (v.Variable.get e k)))
+    done;
+    I.run state ~from:at_iter ~until:niter;
+    Dual.tangent (I.output state) <> 0.
+  in
+  let vars =
+    List.mapi
+      (fun vindex (name, shape, spe) ->
+        let mask =
+          Array.init (Scvad_nd.Shape.size shape) (fun e -> probe vindex e)
+        in
+        Criticality.of_mask ~name ~shape ~spe ~kind:Criticality.Float_var mask)
+      shapes
+  in
+  (vars, int_reports (module A) (I.int_vars skeleton), 0)
+
+let analyze ?(mode = Criticality.Reverse_gradient) ?(at_iter = 0) ?niter
+    (module A : App.S) =
+  let niter = Option.value niter ~default:A.analysis_niter in
+  if at_iter < 0 || at_iter >= niter then
+    invalid_arg "Analyzer.analyze: need 0 <= at_iter < niter";
+  let fvars, ivars, tape_nodes =
+    match mode with
+    | Criticality.Reverse_gradient ->
+        let vars, _impacts, ivars, nodes =
+          reverse_analysis (module A) ~at_iter ~niter
+        in
+        (vars, ivars, nodes)
+    | Criticality.Activity_dependence ->
+        activity_analysis (module A) ~at_iter ~niter
+    | Criticality.Forward_probe -> forward_analysis (module A) ~at_iter ~niter
+  in
+  {
+    Criticality.app = A.name;
+    at_iteration = at_iter;
+    analyzed_until = niter;
+    mode;
+    tape_nodes;
+    vars = fvars @ ivars;
+  }
+
+(* Union over several checkpoint boundaries: an element is critical if
+   SOME checkpoint needs it.  This is the right notion for a checkpoint
+   policy that prunes with one mask at every interval (cf. IS, whose
+   key_array matters mid-run while bucket_ptrs matters just before the
+   final verification). *)
+let analyze_boundaries ?mode ~boundaries ?niter (module A : App.S) =
+  match boundaries with
+  | [] -> invalid_arg "Analyzer.analyze_boundaries: no boundaries"
+  | first :: _ ->
+      let reports =
+        List.map (fun at_iter -> analyze ?mode ~at_iter ?niter (module A)) boundaries
+      in
+      let union_var (a : Criticality.var_report) (b : Criticality.var_report) =
+        Criticality.of_mask ~name:a.Criticality.name ~shape:a.Criticality.shape
+          ~spe:a.Criticality.spe ~kind:a.Criticality.kind
+          (Array.map2 ( || ) a.Criticality.mask b.Criticality.mask)
+      in
+      let base = List.hd reports in
+      let vars =
+        List.map
+          (fun (v : Criticality.var_report) ->
+            List.fold_left
+              (fun acc r -> union_var acc (Criticality.find r v.Criticality.name))
+              v (List.tl reports))
+          base.Criticality.vars
+      in
+      {
+        base with
+        Criticality.at_iteration = first;
+        vars;
+        tape_nodes =
+          List.fold_left (fun acc r -> acc + r.Criticality.tape_nodes) 0 reports;
+      }
+
+(* Impact magnitudes (reverse mode only): the input of the
+   mixed-precision checkpoint planner. *)
+let analyze_impact ?(at_iter = 0) ?niter (module A : App.S) =
+  let niter = Option.value niter ~default:A.analysis_niter in
+  if at_iter < 0 || at_iter >= niter then
+    invalid_arg "Analyzer.analyze_impact: need 0 <= at_iter < niter";
+  let _, impacts, _, _ = reverse_analysis (module A) ~at_iter ~niter in
+  { Impact.app = A.name; at_iteration = at_iter; analyzed_until = niter;
+    vars = impacts }

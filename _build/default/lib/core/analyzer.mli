@@ -1,0 +1,53 @@
+(** The scrutiny engine (paper §III-A).
+
+    [analyze app] models a checkpoint taken at main-loop iteration
+    [at_iter]: the kernel runs to the boundary as AD constants (free —
+    constants fold), every element of every checkpoint variable is
+    lifted onto the tape (that is the checkpointed state), the
+    remaining window runs, and d output / d element decides
+    criticality: zero derivative ⇒ uncritical.
+
+    Integer variables are resolved from their declared criticality or,
+    for [By_taint] variables, from the application's integer-dependence
+    analysis hook. *)
+
+(** [analyze ?mode ?at_iter ?niter app].
+
+    - [mode] (default [Reverse_gradient]): one taped run + one backward
+      sweep for all elements.  [Forward_probe] re-runs the application
+      once per element with a dual-number seed (the naive reading of
+      "inspect every single element"; oracle and ablation).
+      [Activity_dependence] tracks reachability only — cheaper, but a
+      zero-valued partial still counts as a dependence.
+    - [at_iter] (default 0): the checkpoint boundary.
+    - [niter] (default the app's [analysis_niter]): end of the analyzed
+      window.  Must satisfy [0 <= at_iter < niter].
+
+    A window shorter than the true remaining run is conservative for
+    elements that the unanalyzed iterations would overwrite, and all
+    eight NPB kernels have iteration-invariant access patterns, so the
+    short default windows reproduce the full-run answer (asserted by
+    the test suite). *)
+val analyze :
+  ?mode:Criticality.mode ->
+  ?at_iter:int ->
+  ?niter:int ->
+  (module App.S) ->
+  Criticality.report
+
+(** Union over several checkpoint boundaries: an element is critical if
+    {e some} checkpoint needs it — the right mask for a policy that
+    prunes with a single region set at every interval.  The result's
+    [at_iteration] is the first boundary; [tape_nodes] is the total. *)
+val analyze_boundaries :
+  ?mode:Criticality.mode ->
+  boundaries:int list ->
+  ?niter:int ->
+  (module App.S) ->
+  Criticality.report
+
+(** Impact magnitudes |d output / d element| from the same reverse
+    pass — the input of the mixed-precision checkpoint planner
+    ({!Mixed}). *)
+val analyze_impact :
+  ?at_iter:int -> ?niter:int -> (module App.S) -> Impact.report

@@ -1,0 +1,49 @@
+(** Criticality reports: per-variable element masks plus the counts of
+    the paper's Table II. *)
+
+type kind = Float_var | Int_var
+
+type var_report = {
+  name : string;
+  shape : Scvad_nd.Shape.t;
+  spe : int;
+  kind : kind;
+  mask : bool array;  (** per logical element: critical? *)
+  regions : Scvad_checkpoint.Regions.t;  (** critical spans (aux file) *)
+}
+
+(** Build a report from a mask; raises if mask length and shape
+    disagree. *)
+val of_mask :
+  name:string ->
+  shape:Scvad_nd.Shape.t ->
+  spe:int ->
+  kind:kind ->
+  bool array ->
+  var_report
+
+val total : var_report -> int
+val critical : var_report -> int
+val uncritical : var_report -> int
+val uncritical_rate : var_report -> float
+
+type mode = Reverse_gradient | Forward_probe | Activity_dependence
+
+val mode_name : mode -> string
+
+type report = {
+  app : string;
+  at_iteration : int;  (** checkpoint boundary the analysis models *)
+  analyzed_until : int;  (** main-loop iterations covered *)
+  mode : mode;
+  tape_nodes : int;  (** recorded data-flow graph size *)
+  vars : var_report list;
+}
+
+(** Find a variable; raises [Not_found]. *)
+val find : report -> string -> var_report
+
+val find_opt : report -> string -> var_report option
+
+(** Element-weighted uncritical rate over every variable. *)
+val aggregate_uncritical_rate : report -> float

@@ -1,0 +1,124 @@
+(* End-to-end checkpoint/restart harness (paper §IV-C).
+
+   Protocol:
+   1. golden run — uninterrupted, records the reference output;
+   2. protected run — checkpoints every [every] iterations (pruned by a
+      criticality report, or full) and crashes at a chosen iteration;
+   3. restart — restores the latest checkpoint, poisons uncritical
+      elements, finishes the run;
+   4. verification — the restarted output must equal the golden output
+      bit for bit (floats are compared exactly: a correct restart replays
+      the identical instruction stream on the critical data).           *)
+
+open Scvad_ad
+module Failure_ = Scvad_checkpoint.Failure
+
+type run_result = { output : float; iterations : int }
+
+let golden_run ?niter (module A : App.S) =
+  let niter = Option.value niter ~default:A.default_niter in
+  let module I = A.Make (Float_scalar) in
+  let state = I.create () in
+  I.run state ~from:0 ~until:niter;
+  { output = I.output state; iterations = niter }
+
+(* Run with periodic checkpoints into [store]; raise
+   [Failure_.Crash] at iteration [crash_at] if given.  Checkpoints are
+   taken after each [every]-th iteration completes (and never for the
+   final iteration, where the run is already done). *)
+let run_with_checkpoints ?report ?crash_at ?niter ~store ~every
+    (module A : App.S) =
+  if every <= 0 then invalid_arg "Harness.run_with_checkpoints: every <= 0";
+  let niter = Option.value niter ~default:A.default_niter in
+  let module I = A.Make (Float_scalar) in
+  let state = I.create () in
+  let checkpoint iteration =
+    let file =
+      Pruned.snapshot ?report ~app:A.name ~iteration
+        ~float_vars:(I.float_vars state) ~int_vars:(I.int_vars state) ()
+    in
+    ignore (Scvad_checkpoint.Store.save ~sidecar_aux:true store file)
+  in
+  let rec go from =
+    if from >= niter then { output = I.output state; iterations = niter }
+    else begin
+      let until = min niter (from + every) in
+      (* The failure strikes while the segment containing [crash_at] is
+         executing, i.e. before its checkpoint is taken. *)
+      (match crash_at with
+      | Some at when from <= at && at < until ->
+          raise (Failure_.Crash { iteration = at })
+      | Some _ | None -> ());
+      I.run state ~from ~until;
+      if until < niter then checkpoint until;
+      go until
+    end
+  in
+  go 0
+
+(* Restore the newest checkpoint and finish the run. *)
+let restart_from_latest ?(poison = Failure_.Nan) ?niter ~store
+    (module A : App.S) =
+  let niter = Option.value niter ~default:A.default_niter in
+  let module I = A.Make (Float_scalar) in
+  match Scvad_checkpoint.Store.latest store with
+  | None -> invalid_arg "Harness.restart_from_latest: empty store"
+  | Some file ->
+      let state = I.create () in
+      let from =
+        Pruned.restore ~poison file ~float_vars:(I.float_vars state)
+          ~int_vars:(I.int_vars state)
+      in
+      I.run state ~from ~until:niter;
+      { output = I.output state; iterations = niter }
+
+(* Bitwise output equality — the verification oracle. *)
+let verified ~golden ~restarted =
+  Int64.bits_of_float golden.output = Int64.bits_of_float restarted.output
+
+(* Silent-data-corruption probe: flip one bit of one element of one
+   checkpoint variable at a checkpoint boundary and finish the run.
+   The paper's criterion in executable form: an uncritical element must
+   leave the output bit-identical; a critical one generally must not.
+   Returns (golden, corrupted run, output changed?). *)
+let corrupt_element_experiment ?niter ?(bit = 30) ~at_iter ~var ~element
+    (module A : App.S) =
+  let niter = Option.value niter ~default:A.default_niter in
+  if at_iter < 0 || at_iter >= niter then
+    invalid_arg "Harness.corrupt_element_experiment: bad boundary";
+  let golden = golden_run ~niter (module A : App.S) in
+  let module I = A.Make (Float_scalar) in
+  let state = I.create () in
+  I.run state ~from:0 ~until:at_iter;
+  let v =
+    match
+      List.find_opt
+        (fun (v : Float_scalar.t Variable.t) -> v.Variable.name = var)
+        (I.float_vars state)
+    with
+    | Some v -> v
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Harness.corrupt_element_experiment: no variable %S" var)
+  in
+  if element < 0 || element >= Variable.elements v then
+    invalid_arg "Harness.corrupt_element_experiment: element out of range";
+  v.Variable.set element 0 (Failure_.flip_bit (v.Variable.get element 0) ~bit);
+  I.run state ~from:at_iter ~until:niter;
+  let corrupted = { output = I.output state; iterations = niter } in
+  (golden, corrupted, not (verified ~golden ~restarted:corrupted))
+
+(* The full §IV-C experiment: golden run, crash halfway, pruned restart,
+   verify.  Returns (golden, restarted, verified). *)
+let crash_restart_experiment ?report ?(poison = Failure_.Nan) ?niter ~store
+    ~every ~crash_at (module A : App.S) =
+  Scvad_checkpoint.Store.wipe store;
+  let golden = golden_run ?niter (module A : App.S) in
+  (match
+     run_with_checkpoints ?report ~crash_at ?niter ~store ~every
+       (module A : App.S)
+   with
+  | _ -> failwith "crash_restart_experiment: the run did not crash"
+  | exception Failure_.Crash _ -> ());
+  let restarted = restart_from_latest ~poison ?niter ~store (module A : App.S) in
+  (golden, restarted, verified ~golden ~restarted)

@@ -1,0 +1,63 @@
+(** End-to-end checkpoint/restart harness (paper §IV-C).
+
+    Golden run → protected run with periodic (optionally pruned)
+    checkpoints and an injected crash → restart from the newest
+    checkpoint with poisoned uncritical elements → bitwise output
+    verification. *)
+
+type run_result = { output : float; iterations : int }
+
+(** Uninterrupted reference run. *)
+val golden_run : ?niter:int -> (module App.S) -> run_result
+
+(** Run with a checkpoint every [every] iterations saved into [store]
+    (pruned when [report] is given).  If [crash_at] is inside a
+    segment, that segment raises {!Scvad_checkpoint.Failure.Crash}
+    before its checkpoint is taken. *)
+val run_with_checkpoints :
+  ?report:Criticality.report ->
+  ?crash_at:int ->
+  ?niter:int ->
+  store:Scvad_checkpoint.Store.t ->
+  every:int ->
+  (module App.S) ->
+  run_result
+
+(** Restore the newest checkpoint and finish the run. *)
+val restart_from_latest :
+  ?poison:Scvad_checkpoint.Failure.poison ->
+  ?niter:int ->
+  store:Scvad_checkpoint.Store.t ->
+  (module App.S) ->
+  run_result
+
+(** Bitwise equality of outputs — the verification oracle (a correct
+    restart replays the identical instruction stream on the critical
+    data). *)
+val verified : golden:run_result -> restarted:run_result -> bool
+
+(** Silent-data-corruption probe: flip bit [bit] (default 30) of one
+    element of variable [var] at boundary [at_iter] and finish the run.
+    Returns (golden, corrupted run, output changed?).  The executable
+    form of the paper's criterion: corrupting an uncritical element
+    must not change the output. *)
+val corrupt_element_experiment :
+  ?niter:int ->
+  ?bit:int ->
+  at_iter:int ->
+  var:string ->
+  element:int ->
+  (module App.S) ->
+  run_result * run_result * bool
+
+(** The full §IV-C experiment; returns (golden, restarted, verified).
+    Wipes [store] first; fails if the run did not crash. *)
+val crash_restart_experiment :
+  ?report:Criticality.report ->
+  ?poison:Scvad_checkpoint.Failure.poison ->
+  ?niter:int ->
+  store:Scvad_checkpoint.Store.t ->
+  every:int ->
+  crash_at:int ->
+  (module App.S) ->
+  run_result * run_result * bool

@@ -1,0 +1,89 @@
+(* Impact analysis: the paper's future-work direction (§VII) made
+   concrete.
+
+   Where criticality asks "is d output / d element zero?", impact keeps
+   the magnitude |d output / d element|.  Elements split into three
+   classes relative to a threshold tau:
+
+     Uncritical  (magnitude = 0)        -> dropped from checkpoints
+     Low_impact  (0 < magnitude < tau)  -> stored in single precision
+     High_impact (magnitude >= tau)     -> stored in double precision
+
+   The first-order model predicts the output perturbation of the
+   mixed-precision checkpoint: |delta out| <= sum_i |g_i| * |x_i -
+   fl32(x_i)| — validated against the measured restart error by the
+   {!Mixed} experiment. *)
+
+type var_impact = {
+  name : string;
+  shape : Scvad_nd.Shape.t;
+  spe : int;
+  magnitude : float array; (* per element: max |d out / d slot| *)
+}
+
+type report = {
+  app : string;
+  at_iteration : int;
+  analyzed_until : int;
+  vars : var_impact list;
+}
+
+let of_magnitudes ~name ~shape ~spe magnitude =
+  if Array.length magnitude <> Scvad_nd.Shape.size shape then
+    invalid_arg "Impact.of_magnitudes: length does not match shape";
+  { name; shape; spe; magnitude }
+
+let find r name = List.find (fun v -> v.name = name) r.vars
+let find_opt r name = List.find_opt (fun v -> v.name = name) r.vars
+
+(* The zero-derivative criterion: impact generalizes criticality. *)
+let to_criticality_mask v = Array.map (fun m -> m <> 0.) v.magnitude
+
+let max_magnitude v = Array.fold_left Float.max 0. v.magnitude
+
+let min_nonzero v =
+  Array.fold_left
+    (fun acc m -> if m > 0. && m < acc then m else acc)
+    infinity v.magnitude
+
+(* p-th percentile (0..100) of the nonzero magnitudes. *)
+let percentile v ~p =
+  let nz = Array.of_list (List.filter (fun m -> m > 0.) (Array.to_list v.magnitude)) in
+  if Array.length nz = 0 then 0.
+  else begin
+    Array.sort compare nz;
+    let rank =
+      int_of_float (Float.of_int (Array.length nz - 1) *. p /. 100.)
+    in
+    nz.(max 0 (min (Array.length nz - 1) rank))
+  end
+
+type clazz = Uncritical | Low_impact | High_impact
+
+let classify v ~threshold =
+  Array.map
+    (fun m ->
+      if m = 0. then Uncritical
+      else if m < threshold then Low_impact
+      else High_impact)
+    v.magnitude
+
+let class_counts classes =
+  Array.fold_left
+    (fun (u, l, h) -> function
+      | Uncritical -> (u + 1, l, h)
+      | Low_impact -> (u, l + 1, h)
+      | High_impact -> (u, l, h + 1))
+    (0, 0, 0) classes
+
+(* Log-scale histogram of the nonzero magnitudes: (decade, count). *)
+let log_histogram v =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun m ->
+      if m > 0. then begin
+        let d = int_of_float (Float.floor (Float.log10 m)) in
+        Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+      end)
+    v.magnitude;
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])

@@ -1,0 +1,51 @@
+(** Impact analysis: per-element derivative magnitudes (paper §VII).
+
+    Where criticality asks "is d output / d element zero?", impact
+    keeps |d output / d element| and classifies elements against a
+    threshold — the input of mixed-precision checkpointing. *)
+
+type var_impact = {
+  name : string;
+  shape : Scvad_nd.Shape.t;
+  spe : int;
+  magnitude : float array;  (** per element: max |d out / d slot| *)
+}
+
+type report = {
+  app : string;
+  at_iteration : int;
+  analyzed_until : int;
+  vars : var_impact list;
+}
+
+(** Raises if the magnitude length and shape disagree. *)
+val of_magnitudes :
+  name:string ->
+  shape:Scvad_nd.Shape.t ->
+  spe:int ->
+  float array ->
+  var_impact
+
+val find : report -> string -> var_impact
+val find_opt : report -> string -> var_impact option
+
+(** magnitude ≠ 0 — impact generalizes criticality. *)
+val to_criticality_mask : var_impact -> bool array
+
+val max_magnitude : var_impact -> float
+
+(** Smallest nonzero magnitude ([infinity] if none). *)
+val min_nonzero : var_impact -> float
+
+(** p-th percentile (0..100) of the nonzero magnitudes. *)
+val percentile : var_impact -> p:float -> float
+
+type clazz = Uncritical | Low_impact | High_impact
+
+val classify : var_impact -> threshold:float -> clazz array
+
+(** (uncritical, low, high). *)
+val class_counts : clazz array -> int * int * int
+
+(** (decade, count) of nonzero magnitudes, ascending. *)
+val log_histogram : var_impact -> (int * int) list

@@ -1,0 +1,235 @@
+(* Mixed-precision checkpointing — the paper's §VII future work, built
+   end to end.
+
+   A plan splits each float variable by impact magnitude: high-impact
+   elements are stored in double precision, low-impact elements in
+   single precision, uncritical elements not at all.  The restart
+   experiment measures the output perturbation this causes and compares
+   it with the first-order prediction sum |g_i| * |x_i - fl32(x_i)|. *)
+
+open Scvad_ad
+module F = Scvad_checkpoint.Ckpt_format
+module Regions = Scvad_checkpoint.Regions
+
+type plan = {
+  name : string;
+  high : Regions.t; (* double precision *)
+  low : Regions.t; (* single precision *)
+}
+
+(* Suffix of the companion single-precision section. *)
+let f32_suffix = ".f32"
+
+let plan_of_impact ~threshold (v : Impact.var_impact) =
+  let classes = Impact.classify v ~threshold in
+  {
+    name = v.Impact.name;
+    high = Regions.of_mask (Array.map (fun c -> c = Impact.High_impact) classes);
+    low = Regions.of_mask (Array.map (fun c -> c = Impact.Low_impact) classes);
+  }
+
+let plans_of_report ~threshold (r : Impact.report) =
+  List.map (plan_of_impact ~threshold) r.Impact.vars
+
+let plan_for plans name = List.find_opt (fun p -> p.name = name) plans
+
+(* Round to IEEE single precision (what an F32 payload stores). *)
+let to_f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let flatten (v : Float_scalar.t Variable.t) =
+  let n = Variable.elements v in
+  Array.init (n * v.Variable.spe) (fun i ->
+      v.Variable.get (i / v.Variable.spe) (i mod v.Variable.spe))
+
+(* Mixed-precision snapshot: per planned variable, a double-precision
+   section over the high-impact regions plus a single-precision
+   companion over the low-impact regions.  Unplanned variables and
+   integers stay full. *)
+let snapshot ~plans ~app ~iteration
+    ~(float_vars : Float_scalar.t Variable.t list)
+    ~(int_vars : Variable.int_t list) () =
+  let float_sections =
+    List.concat_map
+      (fun (v : Float_scalar.t Variable.t) ->
+        let dims = Scvad_nd.Shape.dims v.Variable.shape in
+        let data = flatten v in
+        match plan_for plans v.Variable.name with
+        | None ->
+            [ { F.name = v.Variable.name; dims; spe = v.Variable.spe;
+                regions = None; payload = F.F64 data } ]
+        | Some p ->
+            [ { F.name = v.Variable.name;
+                dims;
+                spe = v.Variable.spe;
+                regions = Some p.high;
+                payload = F.F64 (F.gather_f64 ~data ~spe:v.Variable.spe p.high) };
+              { F.name = v.Variable.name ^ f32_suffix;
+                dims;
+                spe = v.Variable.spe;
+                regions = Some p.low;
+                (* Round now, so the in-memory payload already carries
+                   single precision and encoding is lossless. *)
+                payload =
+                  F.F32
+                    (Array.map to_f32
+                       (F.gather_f64 ~data ~spe:v.Variable.spe p.low)) } ])
+      float_vars
+  in
+  let int_sections =
+    List.map
+      (fun (v : Variable.int_t) ->
+        {
+          F.name = v.Variable.iname;
+          dims = Scvad_nd.Shape.dims v.Variable.ishape;
+          spe = 1;
+          regions = None;
+          payload = F.I64 (Array.init (Variable.int_elements v) v.Variable.iget);
+        })
+      int_vars
+  in
+  { F.app; iteration; sections = float_sections @ int_sections }
+
+(* Restore: scatter the double-precision base section, then overlay the
+   single-precision companion; remaining (uncritical) slots hold
+   poison. *)
+let restore ?(poison = Scvad_checkpoint.Failure.Nan) (file : F.file)
+    ~(float_vars : Float_scalar.t Variable.t list)
+    ~(int_vars : Variable.int_t list) =
+  let section name = List.find_opt (fun s -> s.F.name = name) file.F.sections in
+  let require name =
+    match section name with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Mixed.restore: no section %S" name)
+  in
+  List.iter
+    (fun (v : Float_scalar.t Variable.t) ->
+      let base = require v.Variable.name in
+      if F.element_count base <> Variable.elements v || base.F.spe <> v.Variable.spe
+      then invalid_arg "Mixed.restore: shape mismatch";
+      let full =
+        F.scatter_f64 base
+          ~poison:(Scvad_checkpoint.Failure.poison_value poison)
+      in
+      (match section (v.Variable.name ^ f32_suffix) with
+      | None -> ()
+      | Some low -> (
+          match (low.F.payload, low.F.regions) with
+          | F.F32 packed, Some regions ->
+              let pos = ref 0 in
+              Regions.iter_elements regions (fun e ->
+                  for k = 0 to v.Variable.spe - 1 do
+                    full.((e * v.Variable.spe) + k) <- packed.(!pos);
+                    incr pos
+                  done)
+          | _ -> invalid_arg "Mixed.restore: malformed f32 companion"));
+      for e = 0 to Variable.elements v - 1 do
+        for k = 0 to v.Variable.spe - 1 do
+          v.Variable.set e k full.((e * v.Variable.spe) + k)
+        done
+      done)
+    float_vars;
+  List.iter
+    (fun (v : Variable.int_t) ->
+      let s = require v.Variable.iname in
+      let full =
+        F.scatter_i64 s ~poison:(Scvad_checkpoint.Failure.int_poison_value poison)
+      in
+      Array.iteri (fun e x -> v.Variable.iset e x) full)
+    int_vars;
+  file.F.iteration
+
+(* ------------------------------------------------------------------ *)
+(* The threshold experiment                                            *)
+(* ------------------------------------------------------------------ *)
+
+type experiment = {
+  threshold : float;
+  golden_output : float;
+  restarted_output : float;
+  abs_error : float; (* measured |golden - restarted| *)
+  predicted_error : float; (* first-order bound sum |g_i| |x_i - fl32 x_i| *)
+  full_bytes : int; (* all-double checkpoint payload *)
+  mixed_bytes : int; (* mixed-precision checkpoint payload *)
+  low_elements : int;
+  high_elements : int;
+  dropped_elements : int;
+}
+
+(* Run the mixed-precision restart at checkpoint boundary [at_iter]
+   with the given impact threshold and measure the output error. *)
+let experiment ?(at_iter = 1) ?niter ~threshold (module A : App.S) =
+  let niter = Option.value niter ~default:A.default_niter in
+  (* The impact window covers the whole remaining run, so the
+     first-order prediction accounts for error growth across every
+     iteration a restart would replay. *)
+  let impact = Analyzer.analyze_impact ~at_iter ~niter (module A) in
+  let plans = plans_of_report ~threshold impact in
+  let module I = A.Make (Float_scalar) in
+  (* Golden. *)
+  let golden =
+    let st = I.create () in
+    I.run st ~from:0 ~until:niter;
+    I.output st
+  in
+  (* Snapshot at the boundary. *)
+  let st = I.create () in
+  I.run st ~from:0 ~until:at_iter;
+  let file =
+    snapshot ~plans ~app:A.name ~iteration:at_iter
+      ~float_vars:(I.float_vars st) ~int_vars:(I.int_vars st) ()
+  in
+  (* First-order error prediction over the low-impact elements. *)
+  let predicted = ref 0. in
+  List.iter
+    (fun (v : Float_scalar.t Variable.t) ->
+      match
+        (plan_for plans v.Variable.name, Impact.find_opt impact v.Variable.name)
+      with
+      | Some p, Some vi ->
+          Regions.iter_elements p.low (fun e ->
+              for k = 0 to v.Variable.spe - 1 do
+                let x = v.Variable.get e k in
+                predicted :=
+                  !predicted
+                  +. (vi.Impact.magnitude.(e) *. Float.abs (x -. to_f32 x))
+              done)
+      | _ -> ())
+    (I.float_vars st);
+  (* Restore into a fresh state and finish. *)
+  let st2 = I.create () in
+  let from =
+    restore ~poison:Scvad_checkpoint.Failure.Nan file
+      ~float_vars:(I.float_vars st2) ~int_vars:(I.int_vars st2)
+  in
+  I.run st2 ~from ~until:niter;
+  let restarted = I.output st2 in
+  (* Storage accounting. *)
+  let full_file =
+    Pruned.snapshot ~app:A.name ~iteration:at_iter
+      ~float_vars:(I.float_vars st) ~int_vars:(I.int_vars st) ()
+  in
+  let low, high, dropped =
+    List.fold_left
+      (fun (l, h, d) p ->
+        let total =
+          match Impact.find_opt impact p.name with
+          | Some vi -> Array.length vi.Impact.magnitude
+          | None -> 0
+        in
+        ( l + Regions.cardinal p.low,
+          h + Regions.cardinal p.high,
+          d + total - Regions.cardinal p.low - Regions.cardinal p.high ))
+      (0, 0, 0) plans
+  in
+  {
+    threshold;
+    golden_output = golden;
+    restarted_output = restarted;
+    abs_error = Float.abs (golden -. restarted);
+    predicted_error = !predicted;
+    full_bytes = (Pruned.storage_of_file full_file).Pruned.payload_bytes;
+    mixed_bytes = (Pruned.storage_of_file file).Pruned.payload_bytes;
+    low_elements = low;
+    high_elements = high;
+    dropped_elements = dropped;
+  }

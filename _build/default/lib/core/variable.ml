@@ -1,0 +1,137 @@
+(* Checkpoint variable views.
+
+   A variable is "a memory location paired with an associated symbolic
+   name" (paper §III-A); here it is an accessor view over live kernel
+   state, generic in the scalar type so the same view works in float mode
+   (checkpoint writing) and AD mode (lifting elements onto the tape).
+
+   A variable has [elements] logical elements, each made of [spe]
+   scalars ([spe] = 2 for FT's dcomplex cells); criticality is judged per
+   logical element, exactly how the paper counts Table II. *)
+
+type 'a t = {
+  name : string;
+  shape : Scvad_nd.Shape.t;
+  spe : int;
+  get : int -> int -> 'a; (* element index, scalar slot *)
+  set : int -> int -> 'a -> unit;
+  doc : string; (* why the variable must be checkpointed (Table I) *)
+}
+
+let elements v = Scvad_nd.Shape.size v.shape
+let scalars v = elements v * v.spe
+
+(* Paper-style storage cost of the full variable: 8 bytes per scalar. *)
+let payload_bytes v = 8 * scalars v
+
+(* Flat array of scalars, one element per scalar. *)
+let of_array ~name ?(doc = "") shape (data : 'a array) =
+  if Array.length data <> Scvad_nd.Shape.size shape then
+    invalid_arg "Variable.of_array: array length does not match shape";
+  {
+    name;
+    shape;
+    spe = 1;
+    get = (fun e _ -> data.(e));
+    set = (fun e _ x -> data.(e) <- x);
+    doc;
+  }
+
+(* A lone scalar (EP's sx/sy), viewed as one element. *)
+let of_ref ~name ?(doc = "") (r : 'a ref) =
+  {
+    name;
+    shape = Scvad_nd.Shape.scalar;
+    spe = 1;
+    get = (fun _ _ -> !r);
+    set = (fun _ _ x -> r := x);
+    doc;
+  }
+
+(* General accessor view (used for dcomplex arrays). *)
+let make ~name ?(doc = "") ~shape ~spe ~get ~set () =
+  if spe <= 0 then invalid_arg "Variable.make: spe must be positive";
+  { name; shape; spe; get; set; doc }
+
+(* Lift every scalar in place and return the lifted values (element-major,
+   [spe] slots per element).  The returned snapshot is essential: the run
+   that follows may overwrite the variable, but criticality is a property
+   of the values that were {e checkpointed}, i.e. the ones lifted here. *)
+let lift_capture v f =
+  let n = elements v in
+  Array.init (n * v.spe) (fun i ->
+      let e = i / v.spe and k = i mod v.spe in
+      let x = f (v.get e k) in
+      v.set e k x;
+      x)
+
+(* Criticality mask over a {!lift_capture} snapshot: an element is
+   critical as soon as any of its scalar slots matters. *)
+let element_mask_of_snapshot v snapshot judge =
+  Array.init (elements v) (fun e ->
+      let rec any k = k < v.spe && (judge snapshot.((e * v.spe) + k) || any (k + 1)) in
+      any 0)
+
+(* ------------------------------------------------------------------ *)
+(* Integer variables                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* AD does not apply to integers; the paper argues their criticality by
+   inspection ("its impact is obvious as the index variable of a
+   for-loop").  Each integer variable carries either that declared
+   argument or a request for mechanized taint analysis. *)
+type int_criticality =
+  | Always_critical of string (* justification, e.g. "main loop index" *)
+  | By_taint (* resolved by the app's integer-dependence analysis *)
+
+type int_t = {
+  iname : string;
+  ishape : Scvad_nd.Shape.t;
+  iget : int -> int;
+  iset : int -> int -> unit;
+  icrit : int_criticality;
+  idoc : string;
+}
+
+let int_elements v = Scvad_nd.Shape.size v.ishape
+let int_payload_bytes v = 8 * int_elements v
+
+let int_of_ref ~name ?(doc = "") ~crit (r : int ref) =
+  {
+    iname = name;
+    ishape = Scvad_nd.Shape.scalar;
+    iget = (fun _ -> !r);
+    iset = (fun _ x -> r := x);
+    icrit = crit;
+    idoc = doc;
+  }
+
+let int_of_array ~name ?(doc = "") ~crit shape (data : int array) =
+  if Array.length data <> Scvad_nd.Shape.size shape then
+    invalid_arg "Variable.int_of_array: array length does not match shape";
+  {
+    iname = name;
+    ishape = shape;
+    iget = (fun e -> data.(e));
+    iset = (fun e x -> data.(e) <- x);
+    icrit = crit;
+    idoc = doc;
+  }
+
+(* C-like declaration for Table I, e.g. "double u[12][13][13][5]" or
+   "dcomplex y[64][64][65]" or "int step". *)
+let declaration_of ~ctype ~name ~shape =
+  let dims = Scvad_nd.Shape.dims shape in
+  if Array.length dims = 1 && dims.(0) = 1 then Printf.sprintf "%s %s" ctype name
+  else
+    Printf.sprintf "%s %s%s" ctype name
+      (String.concat ""
+         (List.map (Printf.sprintf "[%d]") (Array.to_list dims)))
+
+let declaration v =
+  declaration_of
+    ~ctype:(if v.spe = 2 then "dcomplex" else "double")
+    ~name:v.name ~shape:v.shape
+
+let int_declaration v =
+  declaration_of ~ctype:"int" ~name:v.iname ~shape:v.ishape

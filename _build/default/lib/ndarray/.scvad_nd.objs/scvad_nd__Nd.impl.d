@@ -1,0 +1,1 @@
+lib/ndarray/nd.ml: Array List Shape

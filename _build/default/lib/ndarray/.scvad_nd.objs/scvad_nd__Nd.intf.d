@@ -1,0 +1,1 @@
+lib/ndarray/nd.mli: Shape

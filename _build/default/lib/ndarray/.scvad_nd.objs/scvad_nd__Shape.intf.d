@@ -1,0 +1,1 @@
+lib/ndarray/shape.mli:

@@ -1,0 +1,49 @@
+(* Dense n-dimensional array: a shape plus a flat OCaml array.  Kernels
+   keep hot loops on the flat [data] with hand-written index math; this
+   wrapper provides the safe general-purpose view used by the analyzer,
+   the checkpoint library and the visualizer. *)
+
+type 'a t = { shape : Shape.t; data : 'a array }
+
+let create shape x = { shape; data = Array.make (Shape.size shape) x }
+
+let init shape f =
+  let idx_of = Shape.index_of_offset shape in
+  { shape; data = Array.init (Shape.size shape) (fun off -> f (idx_of off)) }
+
+let of_array shape data =
+  if Array.length data <> Shape.size shape then
+    invalid_arg "Nd.of_array: data length does not match shape";
+  { shape; data }
+
+let shape t = t.shape
+let data t = t.data
+let size t = Shape.size t.shape
+let get t idx = t.data.(Shape.offset t.shape idx)
+let set t idx x = t.data.(Shape.offset t.shape idx) <- x
+let get_flat t off = t.data.(off)
+let set_flat t off x = t.data.(off) <- x
+let fill t x = Array.fill t.data 0 (Array.length t.data) x
+let map f t = { shape = t.shape; data = Array.map f t.data }
+let copy t = { shape = t.shape; data = Array.copy t.data }
+
+let iteri f t =
+  let idx_of = Shape.index_of_offset t.shape in
+  Array.iteri (fun off x -> f (idx_of off) x) t.data
+
+(* Extract the 2-D slice with dimension [axis] pinned to [at] from a 3-D
+   array; used by the cube visualizer (paper Figs. 3, 7, 8). *)
+let slice3 t ~axis ~at =
+  if Shape.rank t.shape <> 3 then invalid_arg "Nd.slice3: rank must be 3";
+  let d = Shape.dims t.shape in
+  let keep = List.filteri (fun i _ -> i <> axis) (Array.to_list d) in
+  let out_shape = Shape.create keep in
+  init out_shape (fun idx ->
+      let full =
+        match axis with
+        | 0 -> [| at; idx.(0); idx.(1) |]
+        | 1 -> [| idx.(0); at; idx.(1) |]
+        | 2 -> [| idx.(0); idx.(1); at |]
+        | _ -> invalid_arg "Nd.slice3: axis must be 0..2"
+      in
+      get t full)

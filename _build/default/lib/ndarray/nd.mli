@@ -1,0 +1,34 @@
+(** Dense n-dimensional arrays over any element type.
+
+    A thin, safe wrapper over a flat array plus a {!Shape}; the flat view
+    ({!data}) is what the kernels, the analyzer and the checkpoint writer
+    operate on. *)
+
+type 'a t
+
+val create : Shape.t -> 'a -> 'a t
+val init : Shape.t -> (int array -> 'a) -> 'a t
+
+(** View an existing flat array; length must match the shape. *)
+val of_array : Shape.t -> 'a array -> 'a t
+
+val shape : 'a t -> Shape.t
+
+(** The underlying flat storage (shared, not copied). *)
+val data : 'a t -> 'a array
+
+val size : 'a t -> int
+val get : 'a t -> int array -> 'a
+val set : 'a t -> int array -> 'a -> unit
+val get_flat : 'a t -> int -> 'a
+val set_flat : 'a t -> int -> 'a -> unit
+val fill : 'a t -> 'a -> unit
+val map : ('a -> 'b) -> 'a t -> 'b t
+val copy : 'a t -> 'a t
+
+(** Iterate with multi-indices (buffer reused between calls). *)
+val iteri : (int array -> 'a -> unit) -> 'a t -> unit
+
+(** [slice3 t ~axis ~at] pins one axis of a 3-D array, yielding the 2-D
+    slice — the visualizer's building block for cube renderings. *)
+val slice3 : 'a t -> axis:int -> at:int -> 'a t

@@ -1,0 +1,67 @@
+(* Row-major dense shapes: the dimension/stride algebra shared by the
+   checkpoint variable registry, the visualizer's slicers and the
+   kernels' flat arrays. *)
+
+type t = { dims : int array; strides : int array; size : int }
+
+let create dims =
+  if List.exists (fun d -> d <= 0) dims then
+    invalid_arg "Shape.create: dimensions must be positive";
+  let dims = Array.of_list dims in
+  let rank = Array.length dims in
+  let strides = Array.make rank 1 in
+  for i = rank - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  let size = Array.fold_left ( * ) 1 dims in
+  { dims; strides; size }
+
+let scalar = create [ 1 ]
+let dims t = Array.copy t.dims
+let rank t = Array.length t.dims
+let dim t i = t.dims.(i)
+let size t = t.size
+let stride t i = t.strides.(i)
+
+let equal a b = a.dims = b.dims
+
+let offset t idx =
+  let rank = Array.length t.dims in
+  if Array.length idx <> rank then
+    invalid_arg "Shape.offset: rank mismatch";
+  let off = ref 0 in
+  for i = 0 to rank - 1 do
+    let x = idx.(i) in
+    if x < 0 || x >= t.dims.(i) then invalid_arg "Shape.offset: out of bounds";
+    off := !off + (x * t.strides.(i))
+  done;
+  !off
+
+(* Inverse of [offset]. *)
+let index_of_offset t off =
+  if off < 0 || off >= t.size then
+    invalid_arg "Shape.index_of_offset: out of bounds";
+  Array.mapi (fun i _ -> off / t.strides.(i) mod t.dims.(i)) t.dims
+
+(* Iterate all multi-indices in row-major order.  The callback receives a
+   buffer that is reused between calls. *)
+let iter t f =
+  let rank = Array.length t.dims in
+  let idx = Array.make rank 0 in
+  let rec bump i =
+    if i >= 0 then begin
+      idx.(i) <- idx.(i) + 1;
+      if idx.(i) = t.dims.(i) then begin
+        idx.(i) <- 0;
+        bump (i - 1)
+      end
+    end
+  in
+  for _ = 1 to t.size do
+    f idx;
+    bump (rank - 1)
+  done
+
+let to_string t =
+  Printf.sprintf "[%s]"
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.dims)))

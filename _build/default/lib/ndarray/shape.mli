@@ -1,0 +1,37 @@
+(** Row-major dense shapes and stride algebra.
+
+    A shape maps multi-indices to flat offsets in a contiguous array, the
+    layout used by every checkpoint variable in the repository (the paper
+    scrutinizes variables as flat element sequences, cf. its auxiliary
+    file of contiguous regions). *)
+
+type t
+
+(** [create dims] builds a row-major shape; dimensions must be positive. *)
+val create : int list -> t
+
+(** The shape of a lone scalar, viewed as a 1-element vector. *)
+val scalar : t
+
+val dims : t -> int array
+val rank : t -> int
+val dim : t -> int -> int
+
+(** Total number of elements. *)
+val size : t -> int
+
+val stride : t -> int -> int
+val equal : t -> t -> bool
+
+(** Flat offset of a multi-index (bounds-checked). *)
+val offset : t -> int array -> int
+
+(** Inverse of {!offset}. *)
+val index_of_offset : t -> int -> int array
+
+(** Iterate all multi-indices in row-major (offset) order.  The index
+    buffer passed to the callback is reused; copy it if retained. *)
+val iter : t -> (int array -> unit) -> unit
+
+(** E.g. ["[12x13x13x5]"]. *)
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/npb/adi_common.ml: Array Scvad_ad Scvad_nd Stdlib

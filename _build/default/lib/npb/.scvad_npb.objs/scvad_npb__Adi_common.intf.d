@@ -1,0 +1,1 @@
+lib/npb/adi_common.mli: Lazy Scvad_ad Scvad_nd

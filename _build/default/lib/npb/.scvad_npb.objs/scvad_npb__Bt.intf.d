@@ -1,0 +1,1 @@
+lib/npb/bt.mli: Adi_common Scvad_ad Scvad_core

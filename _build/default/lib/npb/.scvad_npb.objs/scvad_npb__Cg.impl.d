@@ -1,0 +1,1 @@
+lib/npb/cg.ml: Array Hashtbl Scvad_ad Scvad_core Scvad_nd Scvad_nprand

@@ -1,0 +1,1 @@
+lib/npb/cg.mli: Scvad_ad Scvad_core

@@ -1,0 +1,1 @@
+lib/npb/ep.ml: Array Float Scvad_ad Scvad_core Scvad_nd Scvad_nprand

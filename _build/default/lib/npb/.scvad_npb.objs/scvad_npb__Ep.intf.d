@@ -1,0 +1,1 @@
+lib/npb/ep.mli: Scvad_ad Scvad_core

@@ -1,0 +1,1 @@
+lib/npb/ft.ml: Array Float Scvad_ad Scvad_core Scvad_nd Scvad_nprand Scvad_solvers

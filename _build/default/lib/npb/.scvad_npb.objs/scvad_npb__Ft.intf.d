@@ -1,0 +1,1 @@
+lib/npb/ft.mli: Scvad_ad Scvad_core

@@ -1,0 +1,1 @@
+lib/npb/is.ml: Array Itaint List Scvad_ad Scvad_core Scvad_nd Scvad_nprand

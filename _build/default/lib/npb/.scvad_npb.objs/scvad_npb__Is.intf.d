@@ -1,0 +1,1 @@
+lib/npb/is.mli: Scvad_core

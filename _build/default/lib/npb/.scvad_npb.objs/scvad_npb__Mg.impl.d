@@ -1,0 +1,1 @@
+lib/npb/mg.ml: Array Scvad_ad Scvad_core Scvad_nd Scvad_nprand

@@ -1,0 +1,1 @@
+lib/npb/mg.mli: Scvad_ad Scvad_core

@@ -1,0 +1,1 @@
+lib/npb/sp.ml: Adi_common Array Lazy Scvad_ad Scvad_core Scvad_nd Scvad_solvers

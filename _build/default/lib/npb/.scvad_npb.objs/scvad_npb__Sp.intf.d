@@ -1,0 +1,1 @@
+lib/npb/sp.mli: Adi_common Scvad_ad Scvad_core

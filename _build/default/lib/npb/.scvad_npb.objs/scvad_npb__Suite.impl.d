@@ -1,0 +1,1 @@
+lib/npb/suite.ml: Bt Cg Ep Ft Is List Lu Mg Scvad_core Sp

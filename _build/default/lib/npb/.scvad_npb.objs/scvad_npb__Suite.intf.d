@@ -1,0 +1,1 @@
+lib/npb/suite.mli: Scvad_core

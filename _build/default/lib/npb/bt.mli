@@ -1,0 +1,18 @@
+(** BT — Block Tri-diagonal solver (NPB kernel, class S).
+
+    ADI time stepping with 5x5 block-tridiagonal line solves.
+    Checkpoint variables (paper Table I): double u[12][13][13][5],
+    int step.  Criticality: the Fig. 3 pattern — 1500 uncritical
+    elements on the padded planes j = 12 and i = 12. *)
+
+module Make_generic (S : Scvad_ad.Scalar.S) :
+  Scvad_core.App.INSTANCE with type scalar = S.t
+
+module App : Scvad_core.App.S
+
+(** Grid-parameterized kernel (class S and W). *)
+module Make_sized (_ : Adi_common.GRID) (S : Scvad_ad.Scalar.S) :
+  Scvad_core.App.INSTANCE with type scalar = S.t
+
+(** Class W (24^3): the scaling study. *)
+module App_w : Scvad_core.App.S

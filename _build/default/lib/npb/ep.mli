@@ -1,0 +1,15 @@
+(** EP — Embarrassingly Parallel Gaussian deviates (NPB kernel,
+    class S: 2^24 pairs in 256 batches).
+
+    Checkpoint variables (Table I): double sx, double sy, double q[10],
+    int k — all critical (read-modify-write accumulators).  Batches
+    jump into the randlc stream with ipow46, so restarts regenerate the
+    identical deviates. *)
+
+(** Batches (the main loop). *)
+val nn : int
+
+module Make_generic (S : Scvad_ad.Scalar.S) :
+  Scvad_core.App.INSTANCE with type scalar = S.t
+
+module App : Scvad_core.App.S

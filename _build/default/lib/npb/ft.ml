@@ -1,0 +1,225 @@
+(* FT — 3-D Fast Fourier Transform PDE solver (NPB kernel, class S:
+   64^3 grid, 6 iterations).
+
+   The frequency-domain signal [y] (NPB's u0) is evolved each iteration
+   by the exponential factors, inverse-transformed into a work grid, and
+   reduced to a complex checksum that is appended to [sums].
+
+   Storage is NPB's padded layout: a [64][64][65] array of dcomplex
+   cells with the x-dimension padded by one — 266240 elements of which
+   the 4096 cells of the padding plane never participate (the paper's
+   Fig. 8; "due to imperfect coding").
+
+   Checkpoint variables (Table I): dcomplex y[64][64][65],
+   dcomplex sums[6], int kt.  The random initial state and the twiddle
+   factors are reconstructed deterministically at create time and enter
+   AD mode as constants, exactly like CG's matrix. *)
+
+let n1 = 64 (* x extent (plus 1 padding) *)
+let n2 = 64 (* y extent *)
+let n3 = 64 (* z extent *)
+let xpad = n1 + 1
+let ntotal = n1 * n2 * n3
+let cells = n3 * n2 * xpad (* 266240 stored cells *)
+let niter = 6
+let alpha = 1e-6
+
+let idx z y x = (((z * n2) + y) * xpad) + x
+
+(* Signed frequency of index i on an n-point axis. *)
+let freq n i = if i < n / 2 then i else i - n
+
+module Make_generic (S : Scvad_ad.Scalar.S) = struct
+  type scalar = S.t
+
+  module C = Scvad_solvers.Dcomplex.Make (S)
+  module F = Scvad_solvers.Fft.Make (S)
+  module Cf = Scvad_solvers.Dcomplex.Make (Scvad_ad.Float_scalar)
+  module Ff = Scvad_solvers.Fft.Make (Scvad_ad.Float_scalar)
+
+  type state = {
+    y : C.t array; (* [64][64][65] frequency-domain signal *)
+    sums : C.t array; (* per-iteration checksums *)
+    twiddle : float array; (* evolution factors, constant data *)
+    w : C.t array; (* work grid for the inverse transform *)
+    pencil : C.t array; (* gather buffer for strided FFT pencils *)
+    mutable iter_done : int;
+  }
+
+  (* Initial condition: NPB's compute_initial_conditions (a vranlc
+     random field) followed by a forward 3-D FFT — all in plain floats,
+     entering the state as constants. *)
+  let initial_frequency_field () =
+    let grid = Array.make cells Cf.zero in
+    let rng = Scvad_nprand.Nprand.create Scvad_nprand.Nprand.cg_seed in
+    for z = 0 to n3 - 1 do
+      for y = 0 to n2 - 1 do
+        for x = 0 to n1 - 1 do
+          let re = Scvad_nprand.Nprand.next rng in
+          let im = Scvad_nprand.Nprand.next rng in
+          grid.(idx z y x) <- Cf.of_floats re im
+        done
+      done
+    done;
+    (* Forward 3-D FFT, dimension by dimension (gather strided
+       pencils). *)
+    let tmp = Array.make n1 Cf.zero in
+    let do_dim ~count ~base_of ~stride ~n =
+      for p = 0 to count - 1 do
+        let base = base_of p in
+        for q = 0 to n - 1 do
+          tmp.(q) <- grid.(base + (q * stride))
+        done;
+        Ff.forward tmp ~off:0 ~n;
+        for q = 0 to n - 1 do
+          grid.(base + (q * stride)) <- tmp.(q)
+        done
+      done
+    in
+    do_dim ~count:(n3 * n2) ~base_of:(fun p -> p * xpad) ~stride:1 ~n:n1;
+    do_dim ~count:(n3 * n1)
+      ~base_of:(fun p -> ((p / n1) * n2 * xpad) + (p mod n1))
+      ~stride:xpad ~n:n2;
+    do_dim ~count:(n2 * n1)
+      ~base_of:(fun p -> p)
+      ~stride:(n2 * xpad) ~n:n3;
+    grid
+
+  let make_twiddle () =
+    let t = Array.make cells 1. in
+    let ap = -4. *. alpha *. Float.pi *. Float.pi in
+    for z = 0 to n3 - 1 do
+      for y = 0 to n2 - 1 do
+        for x = 0 to n1 - 1 do
+          let kx = float_of_int (freq n1 x)
+          and ky = float_of_int (freq n2 y)
+          and kz = float_of_int (freq n3 z) in
+          t.(idx z y x) <- exp (ap *. ((kx *. kx) +. (ky *. ky) +. (kz *. kz)))
+        done
+      done
+    done;
+    t
+
+  let create () =
+    let init = initial_frequency_field () in
+    let y =
+      Array.map
+        (fun c ->
+          let re, im = Cf.to_floats c in
+          C.of_floats re im)
+        init
+    in
+    {
+      y;
+      sums = Array.make niter C.zero;
+      twiddle = make_twiddle ();
+      w = Array.make cells C.zero;
+      pencil = Array.make (max n1 (max n2 n3)) C.zero;
+      iter_done = 0;
+    }
+
+  (* Inverse 3-D FFT of the work grid (unnormalized, like NPB's
+     fft(-1); the checksum divides by NTOTAL). *)
+  let inverse_fft3 st =
+    let do_dim ~count ~base_of ~stride ~n =
+      for p = 0 to count - 1 do
+        let base = base_of p in
+        for q = 0 to n - 1 do
+          st.pencil.(q) <- st.w.(base + (q * stride))
+        done;
+        F.transform ~sign:1. st.pencil ~off:0 ~n;
+        for q = 0 to n - 1 do
+          st.w.(base + (q * stride)) <- st.pencil.(q)
+        done
+      done
+    in
+    do_dim ~count:(n3 * n2) ~base_of:(fun p -> p * xpad) ~stride:1 ~n:n1;
+    do_dim ~count:(n3 * n1)
+      ~base_of:(fun p -> ((p / n1) * n2 * xpad) + (p mod n1))
+      ~stride:xpad ~n:n2;
+    do_dim ~count:(n2 * n1)
+      ~base_of:(fun p -> p)
+      ~stride:(n2 * xpad) ~n:n3
+
+  let step st =
+    (* evolve: y *= twiddle, and the work grid takes a copy. *)
+    for z = 0 to n3 - 1 do
+      for yy = 0 to n2 - 1 do
+        for x = 0 to n1 - 1 do
+          let o = idx z yy x in
+          let evolved = C.scale (S.of_float st.twiddle.(o)) st.y.(o) in
+          st.y.(o) <- evolved;
+          st.w.(o) <- evolved
+        done
+      done
+    done;
+    inverse_fft3 st;
+    (* checksum over 1024 scrambled cells (NPB checksum). *)
+    let acc = ref C.zero in
+    for j = 1 to 1024 do
+      let q = j mod n1 and r = 3 * j mod n2 and s = 5 * j mod n3 in
+      acc := C.add !acc st.w.(idx s r q)
+    done;
+    let chk = C.scale (S.of_float (1. /. float_of_int ntotal)) !acc in
+    (* NPB accumulates (each MPI rank adds its partial sum), so sums[i]
+       is read-modify-write — which is exactly why every element of the
+       checkpointed sums is critical at every checkpoint boundary. *)
+    if st.iter_done < niter then
+      st.sums.(st.iter_done) <- C.add st.sums.(st.iter_done) chk
+
+  let run st ~from ~until =
+    for _ = from to until - 1 do
+      step st;
+      st.iter_done <- st.iter_done + 1
+    done
+
+  let iterations_done st = st.iter_done
+
+  (* Verification output: the aggregate of all per-iteration checksums
+     (NPB prints and verifies each). *)
+  let output st =
+    Array.fold_left
+      (fun acc c -> S.(acc +. C.re c +. C.im c))
+      S.zero st.sums
+
+  let float_vars st =
+    let open Scvad_core.Variable in
+    [ make ~name:"y"
+        ~doc:"frequency-domain signal (x padded to 65; dcomplex cells)"
+        ~shape:(Scvad_nd.Shape.create [ n3; n2; xpad ])
+        ~spe:2
+        ~get:(fun e k -> if k = 0 then C.re st.y.(e) else C.im st.y.(e))
+        ~set:(fun e k v ->
+          let c = st.y.(e) in
+          st.y.(e) <- (if k = 0 then C.make v (C.im c) else C.make (C.re c) v))
+        ();
+      make ~name:"sums" ~doc:"per-iteration checksums (dcomplex)"
+        ~shape:(Scvad_nd.Shape.create [ niter ])
+        ~spe:2
+        ~get:(fun e k -> if k = 0 then C.re st.sums.(e) else C.im st.sums.(e))
+        ~set:(fun e k v ->
+          let c = st.sums.(e) in
+          st.sums.(e) <-
+            (if k = 0 then C.make v (C.im c) else C.make (C.re c) v))
+        () ]
+
+  let int_vars st =
+    [ {
+        Scvad_core.Variable.iname = "kt";
+        ishape = Scvad_nd.Shape.scalar;
+        iget = (fun _ -> st.iter_done);
+        iset = (fun _ v -> st.iter_done <- v);
+        icrit = Scvad_core.Variable.Always_critical "main loop index";
+        idoc = "main loop index";
+      } ]
+end
+
+module App : Scvad_core.App.S = struct
+  let name = "ft"
+  let description = "3-D FFT PDE solver (class S)"
+  let default_niter = niter
+  let analysis_niter = 1
+  let int_taint_masks = None
+
+  module Make (S : Scvad_ad.Scalar.S) = Make_generic (S)
+end

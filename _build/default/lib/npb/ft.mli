@@ -1,0 +1,21 @@
+(** FT — 3-D FFT PDE solver (NPB kernel, class S: 64^3 grid,
+    6 iterations).
+
+    Checkpoint variables (Table I): dcomplex y[64][64][65] (the x
+    dimension padded by one — the 4096 uncritical cells of Fig. 8),
+    dcomplex sums[6] (accumulated checksums: read-modify-write, hence
+    critical at every boundary), int kt. *)
+
+val n1 : int
+val n2 : int
+val n3 : int
+
+(** 266240 stored dcomplex cells. *)
+val cells : int
+
+val niter : int
+
+module Make_generic (S : Scvad_ad.Scalar.S) :
+  Scvad_core.App.INSTANCE with type scalar = S.t
+
+module App : Scvad_core.App.S

@@ -1,0 +1,21 @@
+(** LU — Lower-Upper symmetric Gauss-Seidel solver (NPB kernel,
+    class S).
+
+    Checkpoint variables (Table I): u[12][13][13][5],
+    rho_i[12][13][13], qs[12][13][13], rsd[12][13][13][5], int istep.
+    Criticality: components 0-3 of u and rsd follow Fig. 3; the energy
+    component u[.][4] follows Fig. 7 (union of the three directional
+    sweep ranges: 1600 critical / 428 uncritical); rho_i and qs have
+    300 uncritical each. *)
+
+module Make_generic (S : Scvad_ad.Scalar.S) :
+  Scvad_core.App.INSTANCE with type scalar = S.t
+
+module App : Scvad_core.App.S
+
+(** Grid-parameterized kernel (class S and W). *)
+module Make_sized (_ : Adi_common.GRID) (S : Scvad_ad.Scalar.S) :
+  Scvad_core.App.INSTANCE with type scalar = S.t
+
+(** Class W (33^3): the scaling study. *)
+module App_w : Scvad_core.App.S

@@ -1,0 +1,38 @@
+(** MG — V-cycle MultiGrid Poisson solver (NPB kernel).
+
+    Checkpoint variables (Table I): double u[46480], double r[46480],
+    int it — flat multi-level arrays, finest level first (class S).
+    Criticality: u keeps only the finest (2{^lt}+2)³ level (coarse
+    levels are zeroed before use; Fig. 4); r keeps the restriction
+    stencil's read set [1..2{^lt}+1]³ (Fig. 5).  Class W scales the
+    same pattern to a 64³ finest grid. *)
+
+module type CONFIG = sig
+  (** finest level: grid 2^lt *)
+  val lt : int
+
+  (** flat element count of u and r (class S pads to the paper's 46480
+      with 64 slack words) *)
+  val nv : int
+
+  val niter : int
+end
+
+module Class_s : CONFIG
+module Class_w : CONFIG
+
+(** Level extent including borders: 2^l + 2. *)
+val extent : int -> int
+
+module Make_sized (C : CONFIG) (S : Scvad_ad.Scalar.S) :
+  Scvad_core.App.INSTANCE with type scalar = S.t
+
+(** [Make_sized (Class_s)]. *)
+module Make_generic (S : Scvad_ad.Scalar.S) :
+  Scvad_core.App.INSTANCE with type scalar = S.t
+
+(** The paper's configuration (class S). *)
+module App : Scvad_core.App.S
+
+(** Class W (64^3): the scaling study. *)
+module App_w : Scvad_core.App.S

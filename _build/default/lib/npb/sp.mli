@@ -1,0 +1,17 @@
+(** SP — Scalar Penta-diagonal solver (NPB kernel, class S).
+
+    BT's sibling: same grid, same sweep structure, scalar pentadiagonal
+    line solves.  Checkpoint variables: double u[12][13][13][5],
+    int step; same Fig. 3 pattern as BT (1500 uncritical). *)
+
+module Make_generic (S : Scvad_ad.Scalar.S) :
+  Scvad_core.App.INSTANCE with type scalar = S.t
+
+module App : Scvad_core.App.S
+
+(** Grid-parameterized kernel (class S and W). *)
+module Make_sized (_ : Adi_common.GRID) (S : Scvad_ad.Scalar.S) :
+  Scvad_core.App.INSTANCE with type scalar = S.t
+
+(** Class W (36^3): the scaling study. *)
+module App_w : Scvad_core.App.S

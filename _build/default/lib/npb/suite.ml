@@ -1,0 +1,43 @@
+(* The benchmark registry: the eight NPB kernels the paper evaluates,
+   in the paper's order. *)
+
+let all : (module Scvad_core.App.S) list =
+  [ (module Bt.App);
+    (module Sp.App);
+    (module Mg.App);
+    (module Cg.App);
+    (module Lu.App);
+    (module Ft.App);
+    (module Ep.App);
+    (module Is.App) ]
+
+(* Extra configurations beyond the paper's eight: the class-W scaling
+   study and the reduced CG used by expensive ablations. *)
+let extended : (module Scvad_core.App.S) list =
+  all
+  @ [ (module Bt.App_w); (module Sp.App_w); (module Lu.App_w);
+      (module Mg.App_w); (module Cg.App_w); (module Cg.Tiny_app) ]
+
+let find name =
+  List.find_opt
+    (fun (module A : Scvad_core.App.S) -> A.name = name)
+    extended
+
+let names =
+  List.map (fun (module A : Scvad_core.App.S) -> A.name) all
+
+(* Expected uncritical counts from the paper's Table II (text-consistent
+   version: the paper's LU(rsd) and LU(rho_i) rows are swapped relative
+   to its own §IV-B prose; MG(r) follows the table, not the prose's
+   10479).  Used by the test suite and reports. *)
+let paper_table2 =
+  [ ("bt", "u", 1500, 10140);
+    ("sp", "u", 1500, 10140);
+    ("mg", "u", 7176, 46480);
+    ("mg", "r", 10543, 46480);
+    ("cg", "x", 2, 1402);
+    ("lu", "qs", 300, 2028);
+    ("lu", "rho_i", 300, 2028);
+    ("lu", "rsd", 1500, 10140);
+    ("lu", "u", 1628, 10140);
+    ("ft", "y", 4096, 266240) ]

@@ -1,0 +1,15 @@
+(** The benchmark registry: the paper's eight NPB kernels. *)
+
+val all : (module Scvad_core.App.S) list
+
+(** [all] plus the class-W scaling configurations and the reduced CG
+    used by ablations. *)
+val extended : (module Scvad_core.App.S) list
+
+(** Looks up [extended]. *)
+val find : string -> (module Scvad_core.App.S) option
+val names : string list
+
+(** The paper's Table II (text-consistent version):
+    (benchmark, variable, uncritical, total). *)
+val paper_table2 : (string * string * int * int) list

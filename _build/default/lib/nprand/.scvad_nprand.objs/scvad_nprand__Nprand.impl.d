@@ -1,0 +1,1 @@
+lib/nprand/nprand.ml: Array Float

@@ -1,0 +1,72 @@
+(* NPB pseudo-random number generator.
+
+   Faithful port of NPB's [randlc]/[vranlc]/[ipow46]: the linear
+   congruence x_{k+1} = a * x_k mod 2^46 evaluated in double precision by
+   splitting operands into 23-bit halves (every intermediate stays below
+   2^52, so the arithmetic is exact).  CG's matrix generator and EP's
+   Gaussian-deviate stream both sit on this generator, exactly as in the
+   benchmarks the paper evaluates. *)
+
+let r23 = 0.5 ** 23.
+let r46 = r23 *. r23
+let t23 = 2. ** 23.
+let t46 = t23 *. t23
+
+(* NPB's canonical multiplier 5^13 and the EP/CG default seeds. *)
+let default_mult = 1220703125.
+let ep_seed = 271828183.
+let cg_seed = 314159265.
+
+type t = { mutable seed : float }
+
+let create seed = { seed }
+let seed t = t.seed
+
+(* Core step: returns a uniform deviate in (0, 1) and advances the
+   seed. *)
+let randlc t ~a =
+  let t1 = r23 *. a in
+  let a1 = Float.of_int (int_of_float t1) in
+  let a2 = a -. (t23 *. a1) in
+  let t1 = r23 *. t.seed in
+  let x1 = Float.of_int (int_of_float t1) in
+  let x2 = t.seed -. (t23 *. x1) in
+  let t1 = (a1 *. x2) +. (a2 *. x1) in
+  let t2 = Float.of_int (int_of_float (r23 *. t1)) in
+  let z = t1 -. (t23 *. t2) in
+  let t3 = (t23 *. z) +. (a2 *. x2) in
+  let t4 = Float.of_int (int_of_float (r46 *. t3)) in
+  t.seed <- t3 -. (t46 *. t4);
+  r46 *. t.seed
+
+let next t = randlc t ~a:default_mult
+
+(* Fill [n] uniform deviates starting at [dst.(off)]. *)
+let vranlc t ~a n (dst : float array) off =
+  for i = off to off + n - 1 do
+    dst.(i) <- randlc t ~a
+  done
+
+(* Seed exponentiation: a^exponent in the multiplicative group mod 2^46,
+   by square-and-multiply expressed through randlc (NPB's ipow46).  Used
+   to jump ahead in the stream. *)
+let ipow46 a exponent =
+  if exponent = 0 then 1.
+  else begin
+    let q = create a in
+    let r = create 1. in
+    let n = ref exponent in
+    while !n > 1 do
+      let n2 = !n / 2 in
+      if n2 * 2 = !n then begin
+        ignore (randlc q ~a:q.seed);
+        n := n2
+      end
+      else begin
+        ignore (randlc r ~a:q.seed);
+        n := !n - 1
+      end
+    done;
+    ignore (randlc r ~a:q.seed);
+    r.seed
+  end

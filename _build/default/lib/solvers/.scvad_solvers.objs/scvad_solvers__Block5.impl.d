@@ -1,0 +1,1 @@
+lib/solvers/block5.ml: Array Scvad_ad

@@ -1,0 +1,1 @@
+lib/solvers/block5.mli: Scvad_ad

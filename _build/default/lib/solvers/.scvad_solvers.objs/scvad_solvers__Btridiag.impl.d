@@ -1,0 +1,1 @@
+lib/solvers/btridiag.ml: Array Block5 Scvad_ad

@@ -1,0 +1,1 @@
+lib/solvers/btridiag.mli: Block5 Scvad_ad

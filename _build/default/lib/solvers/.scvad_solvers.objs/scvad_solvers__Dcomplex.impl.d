@@ -1,0 +1,1 @@
+lib/solvers/dcomplex.ml: Scvad_ad

@@ -1,0 +1,1 @@
+lib/solvers/dcomplex.mli: Scvad_ad

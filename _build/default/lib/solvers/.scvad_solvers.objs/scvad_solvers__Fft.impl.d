@@ -1,0 +1,1 @@
+lib/solvers/fft.ml: Array Dcomplex Float Scvad_ad Stdlib

@@ -1,0 +1,1 @@
+lib/solvers/fft.mli: Dcomplex Scvad_ad

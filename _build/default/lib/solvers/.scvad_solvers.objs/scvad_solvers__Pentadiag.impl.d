@@ -1,0 +1,1 @@
+lib/solvers/pentadiag.ml: Array Scvad_ad

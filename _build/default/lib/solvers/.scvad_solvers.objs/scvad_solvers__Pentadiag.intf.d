@@ -1,0 +1,1 @@
+lib/solvers/pentadiag.mli: Scvad_ad

@@ -1,0 +1,96 @@
+(* Dense 5x5 blocks over a generic scalar: the building block of BT's
+   block-tridiagonal solver (NPB solves 5 coupled flow variables per grid
+   point, hence the 5). *)
+
+module Make (S : Scvad_ad.Scalar.S) = struct
+  (* A block is a row-major [S.t array] of length 25; a vector has
+     length 5. *)
+  type block = S.t array
+  type vec = S.t array
+
+  let n = 5
+
+  let zero () : block = Array.make (n * n) S.zero
+
+  let identity () : block =
+    let m = zero () in
+    for i = 0 to n - 1 do
+      m.((i * n) + i) <- S.one
+    done;
+    m
+
+  let copy (m : block) : block = Array.copy m
+  let get (m : block) i j = m.((i * n) + j)
+  let set (m : block) i j x = m.((i * n) + j) <- x
+
+  let of_rows rows : block =
+    if Array.length rows <> n then invalid_arg "Block5.of_rows";
+    Array.concat (Array.to_list rows)
+
+  (* y <- m * x *)
+  let matvec (m : block) (x : vec) : vec =
+    Array.init n (fun i ->
+        let acc = ref S.zero in
+        for j = 0 to n - 1 do
+          acc := S.(!acc +. (m.((i * n) + j) *. x.(j)))
+        done;
+        !acc)
+
+  (* c <- a * b *)
+  let matmul (a : block) (b : block) : block =
+    let c = zero () in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref S.zero in
+        for k = 0 to n - 1 do
+          acc := S.(!acc +. (a.((i * n) + k) *. b.((k * n) + j)))
+        done;
+        c.((i * n) + j) <- !acc
+      done
+    done;
+    c
+
+  (* a <- a - b * c  (the Schur-complement update of the Thomas sweep) *)
+  let sub_matmul (a : block) (b : block) (c : block) =
+    let bc = matmul b c in
+    for i = 0 to (n * n) - 1 do
+      a.(i) <- S.(a.(i) -. bc.(i))
+    done
+
+  (* r <- r - b * x *)
+  let sub_matvec (r : vec) (b : block) (x : vec) =
+    let bx = matvec b x in
+    for i = 0 to n - 1 do
+      r.(i) <- S.(r.(i) -. bx.(i))
+    done
+
+  (* Gauss-Jordan on [a | c | r]: on return a = I, c <- a^-1 c,
+     r <- a^-1 r.  No pivoting, as in NPB's binvcrhs (blocks are strongly
+     diagonally dominant there and in our kernels). *)
+  let gauss_jordan (a : block) (c : block) (r : vec) =
+    for p = 0 to n - 1 do
+      let pivot = S.(one /. a.((p * n) + p)) in
+      for j = 0 to n - 1 do
+        a.((p * n) + j) <- S.(a.((p * n) + j) *. pivot);
+        c.((p * n) + j) <- S.(c.((p * n) + j) *. pivot)
+      done;
+      r.(p) <- S.(r.(p) *. pivot);
+      for i = 0 to n - 1 do
+        if i <> p then begin
+          let coeff = a.((i * n) + p) in
+          for j = 0 to n - 1 do
+            a.((i * n) + j) <-
+              S.(a.((i * n) + j) -. (coeff *. a.((p * n) + j)));
+            c.((i * n) + j) <-
+              S.(c.((i * n) + j) -. (coeff *. c.((p * n) + j)))
+          done;
+          r.(i) <- S.(r.(i) -. (coeff *. r.(p)))
+        end
+      done
+    done
+
+  (* Solve a x = r in place (r becomes the solution). *)
+  let solve (a : block) (r : vec) =
+    let c = zero () in
+    gauss_jordan (copy a) c r
+end

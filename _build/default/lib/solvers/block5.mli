@@ -1,0 +1,37 @@
+(** Dense 5x5 blocks over a generic scalar — BT's block algebra (NPB
+    couples 5 flow variables per grid point). *)
+
+module Make (S : Scvad_ad.Scalar.S) : sig
+  (** Row-major [S.t array] of length 25. *)
+  type block = S.t array
+
+  (** Length 5. *)
+  type vec = S.t array
+
+  val n : int
+  val zero : unit -> block
+  val identity : unit -> block
+  val copy : block -> block
+  val get : block -> int -> int -> S.t
+  val set : block -> int -> int -> S.t -> unit
+
+  (** Concatenate 5 rows of 5. *)
+  val of_rows : S.t array array -> block
+
+  val matvec : block -> vec -> vec
+  val matmul : block -> block -> block
+
+  (** [sub_matmul a b c]: a <- a - b*c (the Schur update of the Thomas
+      sweep). *)
+  val sub_matmul : block -> block -> block -> unit
+
+  (** [sub_matvec r b x]: r <- r - b*x. *)
+  val sub_matvec : vec -> block -> vec -> unit
+
+  (** Gauss-Jordan on [a | c | r] without pivoting (NPB binvcrhs): on
+      return a = I, c <- a⁻¹c, r <- a⁻¹r. *)
+  val gauss_jordan : block -> block -> vec -> unit
+
+  (** Solve a x = r in place ([r] becomes the solution). *)
+  val solve : block -> vec -> unit
+end

@@ -1,0 +1,30 @@
+(* Block-tridiagonal Thomas solver over 5x5 blocks: the per-line solver
+   of BT's alternating-direction implicit sweeps.
+
+   System, for i = 0..n-1 (with a.(0) and c.(n-1) ignored):
+
+     a_i x_{i-1} + b_i x_i + c_i x_{i+1} = r_i                        *)
+
+module Make (S : Scvad_ad.Scalar.S) = struct
+  module B = Block5.Make (S)
+
+  (* Solves in place: [b], [c] and [r] are destroyed; on return [r]
+     holds the solution vectors. *)
+  let solve ~(a : B.block array) ~(b : B.block array) ~(c : B.block array)
+      ~(r : B.vec array) =
+    let n = Array.length b in
+    if Array.length a <> n || Array.length c <> n || Array.length r <> n
+    then invalid_arg "Btridiag.solve: band length mismatch";
+    (* Forward elimination: row 0 then Schur updates. *)
+    B.gauss_jordan b.(0) c.(0) r.(0);
+    for i = 1 to n - 1 do
+      (* b_i <- b_i - a_i c'_{i-1};  r_i <- r_i - a_i r'_{i-1} *)
+      B.sub_matmul b.(i) a.(i) c.(i - 1);
+      B.sub_matvec r.(i) a.(i) r.(i - 1);
+      B.gauss_jordan b.(i) c.(i) r.(i)
+    done;
+    (* Back substitution: x_i = r'_i - c'_i x_{i+1}. *)
+    for i = n - 2 downto 0 do
+      B.sub_matvec r.(i) c.(i) r.(i + 1)
+    done
+end

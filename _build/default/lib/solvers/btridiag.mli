@@ -1,0 +1,13 @@
+(** Block-tridiagonal Thomas solver over 5x5 blocks — BT's per-line
+    implicit solver. *)
+
+module Make (S : Scvad_ad.Scalar.S) : sig
+  module B : module type of Block5.Make (S)
+
+  (** Solve, for i = 0..n-1 (with [a.(0)] and [c.(n-1)] ignored):
+      a{_i} x{_i-1} + b{_i} x{_i} + c{_i} x{_i+1} = r{_i}.
+      In place: [b], [c] and [r] are destroyed; on return [r] holds the
+      solution vectors.  Raises on band length mismatch. *)
+  val solve :
+    a:B.block array -> b:B.block array -> c:B.block array -> r:B.vec array -> unit
+end

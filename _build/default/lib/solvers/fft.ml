@@ -1,0 +1,64 @@
+(* In-place iterative radix-2 complex FFT over a generic scalar.
+
+   Twiddle factors are computed in plain floats and enter the computation
+   as AD constants, so differentiating an FFT costs one tape node per
+   butterfly arithmetic operation and nothing for the trigonometry —
+   mirroring how Enzyme sees FT's precomputed exponent tables. *)
+
+module Make (S : Scvad_ad.Scalar.S) = struct
+  module C = Dcomplex.Make (S)
+
+  let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+  (* Bit-reversal permutation of [a.(off .. off+n-1)]. *)
+  let bit_reverse (a : C.t array) off n =
+    let j = ref 0 in
+    for i = 0 to n - 2 do
+      if i < !j then begin
+        let t = a.(off + i) in
+        a.(off + i) <- a.(off + !j);
+        a.(off + !j) <- t
+      end;
+      let m = ref (n lsr 1) in
+      while !m >= 1 && !j land !m <> 0 do
+        j := !j lxor !m;
+        m := !m lsr 1
+      done;
+      j := !j lor !m
+    done
+
+  (* In-place transform of the [n] entries starting at [off].
+     [sign] = -1. gives the forward transform (exp(-2πik/n) kernel),
+     [sign] = +1. the unnormalized inverse. *)
+  let transform ~sign (a : C.t array) ~off ~n =
+    if not (is_pow2 n) then invalid_arg "Fft.transform: n must be 2^k";
+    bit_reverse a off n;
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let step = Float.pi *. sign /. float_of_int half in
+      for k = 0 to half - 1 do
+        let angle = step *. float_of_int k in
+        let w = C.of_floats (Stdlib.cos angle) (Stdlib.sin angle) in
+        let i = ref (off + k) in
+        while !i < off + n do
+          let u = a.(!i) in
+          let v = C.mul w a.(!i + half) in
+          a.(!i) <- C.add u v;
+          a.(!i + half) <- C.sub u v;
+          i := !i + !len
+        done
+      done;
+      len := !len * 2
+    done
+
+  (* Normalized inverse: divides by n. *)
+  let inverse (a : C.t array) ~off ~n =
+    transform ~sign:1. a ~off ~n;
+    let inv_n = S.of_float (1. /. float_of_int n) in
+    for i = off to off + n - 1 do
+      a.(i) <- C.scale inv_n a.(i)
+    done
+
+  let forward (a : C.t array) ~off ~n = transform ~sign:(-1.) a ~off ~n
+end

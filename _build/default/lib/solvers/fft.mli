@@ -1,0 +1,21 @@
+(** In-place iterative radix-2 complex FFT over a generic scalar.
+
+    Twiddle factors are plain-float constants, so differentiating an
+    FFT costs one tape node per butterfly operation and nothing for the
+    trigonometry. *)
+
+module Make (S : Scvad_ad.Scalar.S) : sig
+  module C : module type of Dcomplex.Make (S)
+
+  val is_pow2 : int -> bool
+
+  (** In-place transform of the [n] entries at [off].  [sign = -1.] is
+      the forward kernel exp(-2πik/n), [sign = +1.] the unnormalized
+      inverse.  Raises unless [n] is a power of two. *)
+  val transform : sign:float -> C.t array -> off:int -> n:int -> unit
+
+  val forward : C.t array -> off:int -> n:int -> unit
+
+  (** Normalized inverse (divides by [n]). *)
+  val inverse : C.t array -> off:int -> n:int -> unit
+end

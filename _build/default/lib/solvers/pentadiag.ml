@@ -1,0 +1,49 @@
+(* Scalar pentadiagonal solver: the per-line solver of SP's sweeps (NPB's
+   "scalar penta-diagonal" benchmark factors each line into scalar
+   systems instead of BT's 5x5 blocks).
+
+   System, for i = 0..n-1 (out-of-range bands ignored):
+
+     e_i x_{i-2} + a_i x_{i-1} + d_i x_i + c_i x_{i+1} + f_i x_{i+2} = r_i *)
+
+module Make (S : Scvad_ad.Scalar.S) = struct
+  (* Solve in place by Gaussian elimination without pivoting (the systems
+     SP builds are diagonally dominant); all six arrays are destroyed and
+     [r] holds the solution on return. *)
+  let solve ~(e : S.t array) ~(a : S.t array) ~(d : S.t array)
+      ~(c : S.t array) ~(f : S.t array) ~(r : S.t array) =
+    let n = Array.length d in
+    if
+      Array.length e <> n || Array.length a <> n || Array.length c <> n
+      || Array.length f <> n || Array.length r <> n
+    then invalid_arg "Pentadiag.solve: band length mismatch";
+    if n = 1 then r.(0) <- S.(r.(0) /. d.(0))
+    else begin
+      (* Forward elimination of the two sub-diagonals. *)
+      for i = 0 to n - 2 do
+        (* Normalize row i. *)
+        let inv = S.(one /. d.(i)) in
+        c.(i) <- S.(c.(i) *. inv);
+        f.(i) <- S.(f.(i) *. inv);
+        r.(i) <- S.(r.(i) *. inv);
+        (* Eliminate a.(i+1). *)
+        let m1 = a.(i + 1) in
+        d.(i + 1) <- S.(d.(i + 1) -. (m1 *. c.(i)));
+        c.(i + 1) <- S.(c.(i + 1) -. (m1 *. f.(i)));
+        r.(i + 1) <- S.(r.(i + 1) -. (m1 *. r.(i)));
+        (* Eliminate e.(i+2). *)
+        if i + 2 < n then begin
+          let m2 = e.(i + 2) in
+          a.(i + 2) <- S.(a.(i + 2) -. (m2 *. c.(i)));
+          d.(i + 2) <- S.(d.(i + 2) -. (m2 *. f.(i)));
+          r.(i + 2) <- S.(r.(i + 2) -. (m2 *. r.(i)))
+        end
+      done;
+      r.(n - 1) <- S.(r.(n - 1) /. d.(n - 1));
+      (* Back substitution through the two super-diagonals. *)
+      r.(n - 2) <- S.(r.(n - 2) -. (c.(n - 2) *. r.(n - 1)));
+      for i = n - 3 downto 0 do
+        r.(i) <- S.(r.(i) -. (c.(i) *. r.(i + 1)) -. (f.(i) *. r.(i + 2)))
+      done
+    end
+end

@@ -1,0 +1,18 @@
+(** Scalar pentadiagonal solver — SP's per-line implicit solver. *)
+
+module Make (S : Scvad_ad.Scalar.S) : sig
+  (** Solve, for i = 0..n-1 (out-of-range bands ignored):
+      e{_i} x{_i-2} + a{_i} x{_i-1} + d{_i} x{_i} + c{_i} x{_i+1}
+      + f{_i} x{_i+2} = r{_i}.
+      Gaussian elimination without pivoting (the systems SP builds are
+      diagonally dominant); all six arrays are destroyed and [r] holds
+      the solution on return.  Raises on band length mismatch. *)
+  val solve :
+    e:S.t array ->
+    a:S.t array ->
+    d:S.t array ->
+    c:S.t array ->
+    f:S.t array ->
+    r:S.t array ->
+    unit
+end

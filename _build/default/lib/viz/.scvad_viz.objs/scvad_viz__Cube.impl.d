@@ -1,0 +1,1 @@
+lib/viz/cube.ml: Array Ascii Buffer List Ppm Printf

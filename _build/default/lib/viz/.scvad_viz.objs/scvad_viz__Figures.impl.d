@@ -1,0 +1,1 @@
+lib/viz/figures.ml: Array Ascii Cube Filename List Ppm Printf Scvad_core Scvad_nd String Strip

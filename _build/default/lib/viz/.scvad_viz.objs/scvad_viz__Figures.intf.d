@@ -1,0 +1,1 @@
+lib/viz/figures.mli: Ppm Scvad_core

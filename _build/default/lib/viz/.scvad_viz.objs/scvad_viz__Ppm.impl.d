@@ -1,0 +1,1 @@
+lib/viz/ppm.ml: Array Bytes Char List Printf

@@ -1,0 +1,1 @@
+lib/viz/strip.ml: Array Ascii Buffer List Printf Scvad_checkpoint Scvad_core String

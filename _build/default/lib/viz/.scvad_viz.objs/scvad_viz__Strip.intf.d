@@ -1,0 +1,1 @@
+lib/viz/strip.mli: Scvad_core

@@ -1,0 +1,64 @@
+(* ASCII rendering of criticality masks.
+
+   Convention throughout (matching the paper's color code): critical
+   elements are red / '#', uncritical elements are blue / '.'. *)
+
+let critical_char = '#'
+let uncritical_char = '.'
+
+(* ANSI-colored cell, if requested. *)
+let cell ~color critical =
+  if not color then String.make 1 (if critical then critical_char else uncritical_char)
+  else if critical then "\x1b[31m#\x1b[0m"
+  else "\x1b[34m.\x1b[0m"
+
+let legend ~color =
+  Printf.sprintf "legend: %s critical, %s uncritical\n"
+    (cell ~color true) (cell ~color false)
+
+(* Render a 2-D mask (row-major, [rows] x [cols]). *)
+let grid ?(color = false) ~rows ~cols (mask : bool array) =
+  if Array.length mask <> rows * cols then
+    invalid_arg "Ascii.grid: mask size does not match rows*cols";
+  let b = Buffer.create (rows * (cols + 1)) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Buffer.add_string b (cell ~color mask.((r * cols) + c))
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+(* Downsampled 1-D bar: each output character summarizes a bucket of
+   elements — '#' all critical, '.' all uncritical, '+' mixed. *)
+let bar ?(width = 80) (mask : bool array) =
+  let n = Array.length mask in
+  if n = 0 then ""
+  else begin
+    let width = min width n in
+    let b = Buffer.create (width + 1) in
+    for c = 0 to width - 1 do
+      let lo = c * n / width and hi = ((c + 1) * n / width) - 1 in
+      let all_crit = ref true and all_unc = ref true in
+      for i = lo to max lo hi do
+        if mask.(i) then all_unc := false else all_crit := false
+      done;
+      Buffer.add_char b
+        (if !all_crit then critical_char
+         else if !all_unc then uncritical_char
+         else '+')
+    done;
+    Buffer.contents b
+  end
+
+(* Histogram of critical elements per coarse bucket, e.g. to expose
+   MG r's repetitive pattern numerically. *)
+let density ?(buckets = 10) (mask : bool array) =
+  let n = Array.length mask in
+  List.init buckets (fun c ->
+      let lo = c * n / buckets and hi = ((c + 1) * n / buckets) - 1 in
+      let crit = ref 0 in
+      for i = lo to hi do
+        if mask.(i) then incr crit
+      done;
+      (lo, hi + 1, !crit, hi + 1 - lo))

@@ -1,0 +1,22 @@
+(** ASCII rendering of criticality masks.
+
+    Convention (matching the paper's color code): critical = red / '#',
+    uncritical = blue / '.'. *)
+
+val critical_char : char
+val uncritical_char : char
+
+(** One cell, optionally ANSI-colored. *)
+val cell : color:bool -> bool -> string
+
+val legend : color:bool -> string
+
+(** Render a row-major 2-D mask; raises on size mismatch. *)
+val grid : ?color:bool -> rows:int -> cols:int -> bool array -> string
+
+(** Downsampled 1-D bar: '#' all critical, '.' all uncritical, '+'
+    mixed per bucket. *)
+val bar : ?width:int -> bool array -> string
+
+(** Per-bucket (lo, hi, critical, total) counts. *)
+val density : ?buckets:int -> bool array -> (int * int * int * int) list

@@ -1,0 +1,105 @@
+(* Cube renderings of 3-D criticality masks (paper Figs. 3, 7, 8).
+
+   A 3-D mask of shape [d0][d1][d2] is visualized as its d0 slices
+   (each a d1 x d2 grid), plus a per-plane summary that names the fully
+   uncritical planes — the textual equivalent of "the uncritical
+   elements are distributed on the two surfaces of the cube". *)
+
+type view = { dims : int array; mask : bool array }
+
+let of_mask ~dims mask =
+  if Array.length dims <> 3 then invalid_arg "Cube.of_mask: need rank 3";
+  if Array.length mask <> dims.(0) * dims.(1) * dims.(2) then
+    invalid_arg "Cube.of_mask: mask size does not match dims";
+  { dims; mask }
+
+(* Extract a 4-D mask's component cube: shape [d0][d1][d2][nc] pinned at
+   component m — how BT/LU's u[.][.][.][m] cubes are obtained. *)
+let component ~dims4 (mask : bool array) ~m =
+  if Array.length dims4 <> 4 then invalid_arg "Cube.component: need rank 4";
+  let d0 = dims4.(0) and d1 = dims4.(1) and d2 = dims4.(2) and nc = dims4.(3) in
+  if m < 0 || m >= nc then invalid_arg "Cube.component: bad component";
+  let cube = Array.make (d0 * d1 * d2) false in
+  for k = 0 to d0 - 1 do
+    for j = 0 to d1 - 1 do
+      for i = 0 to d2 - 1 do
+        cube.(((k * d1) + j) * d2 + i) <-
+          mask.((((((k * d1) + j) * d2) + i) * nc) + m)
+      done
+    done
+  done;
+  of_mask ~dims:[| d0; d1; d2 |] cube
+
+let slice v ~at =
+  let d1 = v.dims.(1) and d2 = v.dims.(2) in
+  Array.sub v.mask (at * d1 * d2) (d1 * d2)
+
+let slices v = List.init v.dims.(0) (fun at -> slice v ~at)
+
+(* Axis-aligned plane summaries: for each axis and index, is the whole
+   plane uncritical / critical / mixed? *)
+type plane_state = All_critical | All_uncritical | Mixed
+
+let plane_state v ~axis ~at =
+  let d = v.dims in
+  let get k j i = v.mask.(((k * d.(1)) + j) * d.(2) + i) in
+  let crit = ref 0 and total = ref 0 in
+  let visit b =
+    incr total;
+    if b then incr crit
+  in
+  (match axis with
+  | 0 ->
+      for j = 0 to d.(1) - 1 do
+        for i = 0 to d.(2) - 1 do
+          visit (get at j i)
+        done
+      done
+  | 1 ->
+      for k = 0 to d.(0) - 1 do
+        for i = 0 to d.(2) - 1 do
+          visit (get k at i)
+        done
+      done
+  | 2 ->
+      for k = 0 to d.(0) - 1 do
+        for j = 0 to d.(1) - 1 do
+          visit (get k j at)
+        done
+      done
+  | _ -> invalid_arg "Cube.plane_state: axis must be 0..2");
+  if !crit = 0 then All_uncritical
+  else if !crit = !total then All_critical
+  else Mixed
+
+(* Names of the fully uncritical planes, e.g. ["axis1=12"; "axis2=12"]
+   for the Fig. 3 pattern. *)
+let uncritical_planes v =
+  List.concat
+    (List.init 3 (fun axis ->
+         List.filter_map
+           (fun at ->
+             match plane_state v ~axis ~at with
+             | All_uncritical -> Some (Printf.sprintf "axis%d=%d" axis at)
+             | All_critical | Mixed -> None)
+           (List.init v.dims.(axis) (fun i -> i))))
+
+(* ASCII rendering: every d0-slice, labelled. *)
+let to_ascii ?(color = false) v =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Ascii.legend ~color);
+  List.iteri
+    (fun at sl ->
+      Buffer.add_string b (Printf.sprintf "slice k=%d:\n" at);
+      Buffer.add_string b
+        (Ascii.grid ~color ~rows:v.dims.(1) ~cols:v.dims.(2) sl))
+    (slices v);
+  Buffer.contents b
+
+(* PPM montage of all slices. *)
+let to_ppm ?(scale = 6) v =
+  Ppm.montage ~scale ~rows:v.dims.(1) ~cols:v.dims.(2) (slices v)
+
+let counts v =
+  let crit = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v.mask in
+  (crit, Array.length v.mask - crit)

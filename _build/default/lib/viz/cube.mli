@@ -1,0 +1,32 @@
+(** Cube renderings of 3-D criticality masks (paper Figs. 3, 7, 8). *)
+
+type view
+
+(** Wrap a rank-3 mask; raises on shape mismatch. *)
+val of_mask : dims:int array -> bool array -> view
+
+(** Extract one component cube of a 4-D mask [d0][d1][d2][nc] — how
+    BT/LU's u[.][.][.][m] cubes are obtained. *)
+val component : dims4:int array -> bool array -> m:int -> view
+
+(** One d1 x d2 slice at the given leading index. *)
+val slice : view -> at:int -> bool array
+
+val slices : view -> bool array list
+
+type plane_state = All_critical | All_uncritical | Mixed
+
+val plane_state : view -> axis:int -> at:int -> plane_state
+
+(** Names of the fully uncritical planes, e.g. ["axis1=12"; "axis2=12"]
+    for the Fig. 3 pattern. *)
+val uncritical_planes : view -> string list
+
+(** Every slice as labelled ASCII. *)
+val to_ascii : ?color:bool -> view -> string
+
+(** PPM montage of all slices. *)
+val to_ppm : ?scale:int -> view -> Ppm.t
+
+(** (critical, uncritical). *)
+val counts : view -> int * int

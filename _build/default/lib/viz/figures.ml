@@ -1,0 +1,119 @@
+(* The paper's six distribution figures, regenerated from criticality
+   reports.  Each figure yields terminal text plus optional PPM images
+   (named, to be written next to the report). *)
+
+module Crit = Scvad_core.Criticality
+
+type output = { title : string; text : string; images : (string * Ppm.t) list }
+
+let dims (v : Crit.var_report) = Scvad_nd.Shape.dims v.Crit.shape
+
+let counts_line (v : Crit.var_report) =
+  Printf.sprintf "%s: %d critical / %d uncritical of %d elements (%.1f%%)\n"
+    v.Crit.name (Crit.critical v) (Crit.uncritical v) (Crit.total v)
+    (100. *. Crit.uncritical_rate v)
+
+(* Fig. 3: the shared ADI cube pattern — uncritical planes j = 12 and
+   i = 12.  [v] is a 4-D [12][13][13][5] variable; all five component
+   cubes share the pattern, so component 0 is rendered. *)
+let fig3 ?(component = 0) (v : Crit.var_report) =
+  let cube = Cube.component ~dims4:(dims v) v.Crit.mask ~m:component in
+  let text =
+    counts_line v
+    ^ Printf.sprintf "fully uncritical planes: %s\n"
+        (String.concat ", " (Cube.uncritical_planes cube))
+    ^ Cube.to_ascii cube
+  in
+  {
+    title =
+      Printf.sprintf "Fig 3. cube pattern of %s (component %d)" v.Crit.name
+        component;
+    text;
+    images = [ (Printf.sprintf "fig3_%s.ppm" v.Crit.name, Cube.to_ppm cube) ];
+  }
+
+(* Fig. 4: MG u as a strip — one long critical run then the uncritical
+   tail. *)
+let fig4 (v : Crit.var_report) =
+  let strip = Strip.of_report v in
+  {
+    title = "Fig 4. critical-uncritical distribution of u in MG";
+    text = counts_line v ^ Strip.to_ascii strip;
+    images =
+      [ (Printf.sprintf "fig4_%s.ppm" v.Crit.name,
+         Ppm.of_grid ~scale:2 ~rows:166 ~cols:280
+           (Array.init (166 * 280) (fun i ->
+                let n = Array.length v.Crit.mask in
+                v.Crit.mask.(min (n - 1) (i * n / (166 * 280)))))) ];
+  }
+
+(* Fig. 5: MG r's repetitive pattern — the strip plus a zoom into one
+   plane of the finest level, where the stride-34 period is visible. *)
+let fig5 ?(zoom = (34 * 34, 2 * 34 * 34)) (v : Crit.var_report) =
+  let strip = Strip.of_report v in
+  let lo, hi = zoom in
+  let text =
+    counts_line v ^ Strip.to_ascii strip
+    ^ Printf.sprintf "zoom [%d, %d): |%s|\n" lo hi (Strip.window strip ~lo ~hi)
+    ^ "density profile:\n"
+    ^ Strip.density strip
+  in
+  {
+    title = "Fig 5. repetitive pattern of r in MG";
+    text;
+    images =
+      [ (Printf.sprintf "fig5_%s_plane.ppm" v.Crit.name,
+         Ppm.of_grid ~scale:6 ~rows:34 ~cols:34 (Array.sub v.Crit.mask lo (34 * 34))) ];
+  }
+
+(* Fig. 6: CG x as a strip — first 1400 critical, last 2 uncritical. *)
+let fig6 (v : Crit.var_report) =
+  let strip = Strip.of_report v in
+  {
+    title = "Fig 6. critical-uncritical distribution of x in CG";
+    text = counts_line v ^ Strip.to_ascii strip;
+    images = [];
+  }
+
+(* Fig. 7: LU's energy component u[.][.][.][4]. *)
+let fig7 (v : Crit.var_report) =
+  let cube = Cube.component ~dims4:(dims v) v.Crit.mask ~m:4 in
+  let crit, unc = Cube.counts cube in
+  let text =
+    counts_line v
+    ^ Printf.sprintf "component 4 cube: %d critical / %d uncritical\n" crit unc
+    ^ Cube.to_ascii cube
+  in
+  {
+    title = "Fig 7. u[x][y][z][4] in LU";
+    text;
+    images = [ ("fig7_lu_u4.ppm", Cube.to_ppm cube) ];
+  }
+
+(* Fig. 8: FT's y — only the padding plane (x = 64) is uncritical.
+   The cube is 64x64x65; the text shows the plane summary and one
+   y-slice, the image shows a z-slice with the blue padding column. *)
+let fig8 (v : Crit.var_report) =
+  let cube = Cube.of_mask ~dims:(dims v) v.Crit.mask in
+  let sl = Cube.slice cube ~at:0 in
+  let text =
+    counts_line v
+    ^ Printf.sprintf "fully uncritical planes: %s\n"
+        (String.concat ", " (Cube.uncritical_planes cube))
+    ^ "slice z=0 (rows y, cols x; rightmost column is the padding):\n"
+    ^ Ascii.grid ~rows:64 ~cols:65 sl
+  in
+  {
+    title = "Fig 8. critical-uncritical distribution of y in FT";
+    text;
+    images = [ ("fig8_ft_y_slice.ppm", Ppm.of_grid ~scale:4 ~rows:64 ~cols:65 sl) ];
+  }
+
+(* Write a figure's images under [dir]; returns the paths. *)
+let write_images ~dir fig =
+  List.map
+    (fun (name, img) ->
+      let path = Filename.concat dir name in
+      Ppm.write path img;
+      path)
+    fig.images

@@ -1,0 +1,30 @@
+(** The paper's six distribution figures, regenerated from criticality
+    reports. *)
+
+type output = {
+  title : string;
+  text : string;
+  images : (string * Ppm.t) list;
+}
+
+(** Fig. 3: the shared ADI cube pattern (4-D variable, one component
+    cube rendered, default component 0). *)
+val fig3 : ?component:int -> Scvad_core.Criticality.var_report -> output
+
+(** Fig. 4: MG u as a strip. *)
+val fig4 : Scvad_core.Criticality.var_report -> output
+
+(** Fig. 5: MG r's repetitive pattern (strip + zoomed plane). *)
+val fig5 : ?zoom:int * int -> Scvad_core.Criticality.var_report -> output
+
+(** Fig. 6: CG x as a strip. *)
+val fig6 : Scvad_core.Criticality.var_report -> output
+
+(** Fig. 7: LU's energy component u[.][.][.][4]. *)
+val fig7 : Scvad_core.Criticality.var_report -> output
+
+(** Fig. 8: FT's y and its padding plane. *)
+val fig8 : Scvad_core.Criticality.var_report -> output
+
+(** Write a figure's images under [dir]; returns the paths. *)
+val write_images : dir:string -> output -> string list

@@ -1,0 +1,77 @@
+(* Binary PPM (P6) image output: the repository's dependency-free way of
+   producing the paper's color figures (red = critical, blue =
+   uncritical, white = padding/absent). *)
+
+type rgb = int * int * int
+
+let red = (214, 39, 40)
+let blue = (31, 119, 180)
+let white = (255, 255, 255)
+let black = (20, 20, 20)
+
+type t = { width : int; height : int; pixels : Bytes.t }
+
+let create ~width ~height ~fill:(r, g, b) =
+  let pixels = Bytes.create (3 * width * height) in
+  for i = 0 to (width * height) - 1 do
+    Bytes.set pixels (3 * i) (Char.chr r);
+    Bytes.set pixels ((3 * i) + 1) (Char.chr g);
+    Bytes.set pixels ((3 * i) + 2) (Char.chr b)
+  done;
+  { width; height; pixels }
+
+let set t ~x ~y ((r, g, b) : rgb) =
+  if x < 0 || x >= t.width || y < 0 || y >= t.height then
+    invalid_arg "Ppm.set: out of bounds";
+  let i = 3 * ((y * t.width) + x) in
+  Bytes.set t.pixels i (Char.chr r);
+  Bytes.set t.pixels (i + 1) (Char.chr g);
+  Bytes.set t.pixels (i + 2) (Char.chr b)
+
+(* Fill a [scale] x [scale] block — one logical cell. *)
+let set_block t ~x ~y ~scale rgb =
+  for dy = 0 to scale - 1 do
+    for dx = 0 to scale - 1 do
+      set t ~x:((x * scale) + dx) ~y:((y * scale) + dy) rgb
+    done
+  done
+
+let write path t =
+  let oc = open_out_bin path in
+  Printf.fprintf oc "P6\n%d %d\n255\n" t.width t.height;
+  output_bytes oc t.pixels;
+  close_out oc
+
+(* Render a 2-D mask to an image, [scale] pixels per cell. *)
+let of_grid ?(scale = 4) ~rows ~cols (mask : bool array) =
+  if Array.length mask <> rows * cols then
+    invalid_arg "Ppm.of_grid: mask size does not match rows*cols";
+  let img = create ~width:(cols * scale) ~height:(rows * scale) ~fill:white in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      set_block img ~x:c ~y:r ~scale
+        (if mask.((r * cols) + c) then red else blue)
+    done
+  done;
+  img
+
+(* Montage of 2-D slices laid out horizontally with a 1-cell gutter
+   (cube renderings: one slice per plane). *)
+let montage ?(scale = 4) ~rows ~cols (slices : bool array list) =
+  let n = List.length slices in
+  if n = 0 then invalid_arg "Ppm.montage: no slices";
+  let width = ((n * (cols + 1)) - 1) * scale in
+  let img = create ~width ~height:(rows * scale) ~fill:white in
+  List.iteri
+    (fun s mask ->
+      if Array.length mask <> rows * cols then
+        invalid_arg "Ppm.montage: slice size mismatch";
+      let x0 = s * (cols + 1) in
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          set_block img ~x:(x0 + c) ~y:r ~scale
+            (if mask.((r * cols) + c) then red else blue)
+        done
+      done)
+    slices;
+  img

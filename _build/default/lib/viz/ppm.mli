@@ -1,0 +1,25 @@
+(** Binary PPM (P6) images: dependency-free color output for the
+    paper's figures (red = critical, blue = uncritical). *)
+
+type rgb = int * int * int
+
+val red : rgb
+val blue : rgb
+val white : rgb
+val black : rgb
+
+type t
+
+val create : width:int -> height:int -> fill:rgb -> t
+val set : t -> x:int -> y:int -> rgb -> unit
+
+(** Fill one [scale] x [scale] logical cell. *)
+val set_block : t -> x:int -> y:int -> scale:int -> rgb -> unit
+
+val write : string -> t -> unit
+
+(** Render a 2-D mask, [scale] pixels per cell. *)
+val of_grid : ?scale:int -> rows:int -> cols:int -> bool array -> t
+
+(** Horizontal montage of equally-sized slices with 1-cell gutters. *)
+val montage : ?scale:int -> rows:int -> cols:int -> bool array list -> t

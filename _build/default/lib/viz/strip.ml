@@ -1,0 +1,47 @@
+(* 1-D strip renderings of criticality masks (paper Figs. 4, 5, 6).
+
+   A flat variable is summarized as its run-length encoding (exactly
+   the paper's auxiliary-file view), a downsampled bar, and a density
+   profile that exposes repetitive patterns such as MG r's. *)
+
+type t = { name : string; mask : bool array }
+
+let of_mask ~name mask = { name; mask }
+
+let of_report (v : Scvad_core.Criticality.var_report) =
+  { name = v.Scvad_core.Criticality.name; mask = v.Scvad_core.Criticality.mask }
+
+let run_length t =
+  Scvad_checkpoint.Regions.to_string
+    (Scvad_checkpoint.Regions.of_mask t.mask)
+
+let to_ascii ?(width = 100) t =
+  let total = Array.length t.mask in
+  let crit = Array.fold_left (fun a b -> if b then a + 1 else a) 0 t.mask in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%s: %d elements, %d critical, %d uncritical\n" t.name
+       total crit (total - crit));
+  Buffer.add_string b (Printf.sprintf "strip: |%s|\n" (Ascii.bar ~width t.mask));
+  let spans = run_length t in
+  let spans =
+    if String.length spans > 200 then String.sub spans 0 200 ^ "..." else spans
+  in
+  Buffer.add_string b (Printf.sprintf "critical spans: %s\n" spans);
+  Buffer.contents b
+
+(* A window of the mask as a bar — to zoom into a repetitive pattern
+   (Fig. 5 shows "a repetitive pattern as part of" MG r). *)
+let window ?(width = 100) t ~lo ~hi =
+  if lo < 0 || hi > Array.length t.mask || lo >= hi then
+    invalid_arg "Strip.window: bad bounds";
+  Ascii.bar ~width (Array.sub t.mask lo (hi - lo))
+
+(* Density profile: critical count per bucket. *)
+let density ?(buckets = 16) t =
+  let rows = Ascii.density ~buckets t.mask in
+  String.concat ""
+    (List.map
+       (fun (lo, hi, crit, n) ->
+         Printf.sprintf "  [%7d, %7d): %6d/%-6d critical\n" lo hi crit n)
+       rows)

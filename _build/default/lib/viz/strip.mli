@@ -1,0 +1,19 @@
+(** 1-D strip renderings of criticality masks (paper Figs. 4, 5, 6). *)
+
+type t
+
+val of_mask : name:string -> bool array -> t
+val of_report : Scvad_core.Criticality.var_report -> t
+
+(** Critical spans, the auxiliary-file view (e.g. ["0-39304"]). *)
+val run_length : t -> string
+
+(** Counts, downsampled bar and spans. *)
+val to_ascii : ?width:int -> t -> string
+
+(** Bar over a sub-range — for zooming into repetitive patterns;
+    raises on bad bounds. *)
+val window : ?width:int -> t -> lo:int -> hi:int -> string
+
+(** Per-bucket critical density table. *)
+val density : ?buckets:int -> t -> string

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_ad Test_checkpoint Test_core Test_corruption Test_extras Test_incremental Test_mixed Test_nd Test_npb Test_nprand Test_solvers Test_viz

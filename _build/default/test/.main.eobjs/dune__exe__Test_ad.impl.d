@@ -1,0 +1,1 @@
+test/test_ad.ml: Activity Alcotest Array Dep_tape Dual Finite_diff Float Float_scalar Itaint List Printf QCheck QCheck_alcotest Reverse Scalar Scvad_ad Stdlib Tape

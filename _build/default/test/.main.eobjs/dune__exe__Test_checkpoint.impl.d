@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Array Bytes Char Ckpt_format Crc32 Failure Filename Float Fun Gen List Option Printf QCheck QCheck_alcotest Random Regions Scvad_checkpoint Store String Sys Unix

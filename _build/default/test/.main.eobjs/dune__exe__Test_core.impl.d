@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analyzer App Array Astring Criticality Filename Float Float_scalar Fun Harness List Printf Pruned Random Report Scvad_ad Scvad_checkpoint Scvad_core Scvad_nd Unix Variable

@@ -1,0 +1,1 @@
+test/test_corruption.ml: Alcotest Analyzer App Array Criticality Harness List Printf Scvad_checkpoint Scvad_core Scvad_npb Seq

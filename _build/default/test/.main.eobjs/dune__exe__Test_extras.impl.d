@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Analyzer App Criticality Filename Float Fun Harness Lazy List Option Printf QCheck QCheck_alcotest Random Scvad_checkpoint Scvad_core Scvad_npb Unix

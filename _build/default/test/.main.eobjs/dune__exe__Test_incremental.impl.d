@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Analyzer App Float Incremental Int64 Lazy List Option Printf Scvad_ad Scvad_core Scvad_npb Variable

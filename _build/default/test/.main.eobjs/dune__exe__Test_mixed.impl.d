@@ -1,0 +1,1 @@
+test/test_mixed.ml: Alcotest Analyzer App Array Criticality Float Impact List Mixed Option Printf Scvad_ad Scvad_checkpoint Scvad_core Scvad_nd Scvad_npb Variable

@@ -1,0 +1,1 @@
+test/test_nd.ml: Alcotest Array List Nd QCheck QCheck_alcotest Scvad_nd Shape String

@@ -1,0 +1,1 @@
+test/test_npb.ml: Alcotest Analyzer App Array Astring Criticality Filename Float Fun Harness Hashtbl List Printf Random Report Scvad_checkpoint Scvad_core Scvad_npb Unix

@@ -1,0 +1,1 @@
+test/test_nprand.ml: Alcotest Array Int64 List Printf Scvad_nprand

@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Array Complex Finite_diff Float Float_scalar List Printf Random Reverse Scalar Scvad_ad Scvad_solvers Stdlib Tape

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Array Ascii Astring Cube Figures Filename Fun List Ppm Scvad_core Scvad_npb Scvad_viz Strip Sys Unix

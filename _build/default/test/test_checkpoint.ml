@@ -1,0 +1,365 @@
+(* Tests for the checkpoint library: CRC, region codec, file format,
+   store, failure injection. *)
+
+open Scvad_checkpoint
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc_known_vectors () =
+  Alcotest.(check int32) "check value" 0xCBF43926l
+    (Crc32.of_string "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.of_string "");
+  Alcotest.(check int32) "single byte" 0xD202EF8Dl (Crc32.of_string "\x00")
+
+let test_crc_incremental () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let whole = Crc32.of_string s in
+  let b = Bytes.of_string s in
+  let half = Bytes.length b / 2 in
+  let inc = Crc32.update 0l b 0 half in
+  let inc = Crc32.update inc b half (Bytes.length b - half) in
+  Alcotest.(check int32) "incremental = whole" whole inc
+
+(* ------------------------------------------------------------------ *)
+(* Regions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_regions_of_mask_basic () =
+  let r = Regions.of_mask [| true; true; false; true; false; false; true |] in
+  Alcotest.(check string) "spans" "0-2,3-4,6-7" (Regions.to_string r);
+  Alcotest.(check int) "cardinal" 4 (Regions.cardinal r);
+  Alcotest.(check int) "regions" 3 (Regions.count_regions r);
+  Alcotest.(check bool) "well formed" true (Regions.is_well_formed r);
+  Alcotest.(check bool) "mem 3" true (Regions.mem r 3);
+  Alcotest.(check bool) "mem 2" false (Regions.mem r 2)
+
+let test_regions_empty_and_full () =
+  let none = Regions.of_mask (Array.make 5 false) in
+  Alcotest.(check int) "empty cardinal" 0 (Regions.cardinal none);
+  let all = Regions.of_mask (Array.make 5 true) in
+  Alcotest.(check string) "single span" "0-5" (Regions.to_string all);
+  Alcotest.(check int) "aux bytes" 16 (Regions.aux_bytes all);
+  Alcotest.(check int) "aux bytes empty" 0 (Regions.aux_bytes none)
+
+let test_regions_complement () =
+  let r = Regions.of_mask [| false; true; true; false; false; true |] in
+  let c = Regions.complement ~total:6 r in
+  Alcotest.(check string) "complement" "0-1,3-5" (Regions.to_string c);
+  Alcotest.(check int) "partition" 6 (Regions.cardinal r + Regions.cardinal c)
+
+let test_regions_iter_order () =
+  let r = Regions.of_mask [| true; false; true; true |] in
+  let seen = ref [] in
+  Regions.iter_elements r (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "visits critical in order" [ 0; 2; 3 ]
+    (List.rev !seen)
+
+let test_regions_ill_formed () =
+  let bad = [ { Regions.start = 0; stop = 2 }; { Regions.start = 2; stop = 4 } ] in
+  Alcotest.(check bool) "adjacent spans rejected" false
+    (Regions.is_well_formed bad);
+  let bad2 = [ { Regions.start = 3; stop = 3 } ] in
+  Alcotest.(check bool) "empty span rejected" false
+    (Regions.is_well_formed bad2);
+  let bad3 = [ { Regions.start = 4; stop = 6 }; { Regions.start = 0; stop = 1 } ] in
+  Alcotest.(check bool) "unsorted rejected" false (Regions.is_well_formed bad3)
+
+let mask_arb =
+  QCheck.(
+    make
+      ~print:(fun m ->
+        String.concat ""
+          (List.map (fun b -> if b then "#" else ".") (Array.to_list m)))
+      Gen.(map Array.of_list (list_size (int_range 0 200) bool)))
+
+let prop_regions_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"regions mask roundtrip" mask_arb
+    (fun mask ->
+      let r = Regions.of_mask mask in
+      Regions.is_well_formed r
+      && Regions.to_mask ~total:(Array.length mask) r = mask)
+
+let prop_regions_complement_partitions =
+  QCheck.Test.make ~count:500 ~name:"complement partitions the index space"
+    mask_arb (fun mask ->
+      let total = Array.length mask in
+      let r = Regions.of_mask mask in
+      let c = Regions.complement ~total r in
+      Regions.is_well_formed c
+      && Regions.cardinal r + Regions.cardinal c = total
+      && Array.for_all (fun b -> b)
+           (Array.init total (fun i -> Regions.mem r i <> Regions.mem c i)))
+
+(* ------------------------------------------------------------------ *)
+(* Format                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let f64_section ?regions ~name ~dims ~spe data =
+  { Ckpt_format.name; dims; spe; regions; payload = Ckpt_format.F64 data }
+
+let test_format_roundtrip_full () =
+  let data = Array.init 60 (fun i -> float i *. 1.5) in
+  let ints = Array.init 7 (fun i -> (i * i) - 3) in
+  let file =
+    {
+      Ckpt_format.app = "bt";
+      iteration = 42;
+      sections =
+        [ f64_section ~name:"u" ~dims:[| 3; 4; 5 |] ~spe:1 data;
+          {
+            Ckpt_format.name = "key_array";
+            dims = [| 7 |];
+            spe = 1;
+            regions = None;
+            payload = Ckpt_format.I64 ints;
+          } ];
+    }
+  in
+  let file' = Ckpt_format.decode (Ckpt_format.encode file) in
+  Alcotest.(check string) "app" "bt" file'.Ckpt_format.app;
+  Alcotest.(check int) "iteration" 42 file'.Ckpt_format.iteration;
+  match file'.Ckpt_format.sections with
+  | [ s1; s2 ] ->
+      Alcotest.(check string) "name" "u" s1.Ckpt_format.name;
+      (match s1.Ckpt_format.payload with
+      | Ckpt_format.F64 d -> Alcotest.(check bool) "floats" true (d = data)
+      | _ -> Alcotest.fail "wrong payload kind");
+      (match s2.Ckpt_format.payload with
+      | Ckpt_format.I64 d -> Alcotest.(check bool) "ints" true (d = ints)
+      | _ -> Alcotest.fail "wrong payload kind")
+  | _ -> Alcotest.fail "wrong section count"
+
+let test_format_roundtrip_pruned () =
+  let total = 10 in
+  let full = Array.init total (fun i -> float i) in
+  let mask = Array.init total (fun i -> i <> 3 && i <> 7 && i <> 8) in
+  let regions = Regions.of_mask mask in
+  let packed = Ckpt_format.gather_f64 ~data:full ~spe:1 regions in
+  Alcotest.(check int) "packed size" 7 (Array.length packed);
+  let s = f64_section ~regions ~name:"x" ~dims:[| total |] ~spe:1 packed in
+  let file = { Ckpt_format.app = "cg"; iteration = 1; sections = [ s ] } in
+  let file' = Ckpt_format.decode (Ckpt_format.encode file) in
+  let s' = List.hd file'.Ckpt_format.sections in
+  let restored = Ckpt_format.scatter_f64 s' ~poison:Float.nan in
+  Array.iteri
+    (fun i v ->
+      if mask.(i) then Alcotest.(check (float 0.)) "critical restored" full.(i) v
+      else Alcotest.(check bool) "uncritical poisoned" true (Float.is_nan v))
+    restored
+
+let test_format_spe2 () =
+  (* dcomplex-style: 2 scalars per element. *)
+  let elements = 6 in
+  let full = Array.init (elements * 2) (fun i -> float i) in
+  let mask = [| true; true; false; true; false; true |] in
+  let regions = Regions.of_mask mask in
+  let packed = Ckpt_format.gather_f64 ~data:full ~spe:2 regions in
+  Alcotest.(check int) "packed scalars" 8 (Array.length packed);
+  let s = f64_section ~regions ~name:"y" ~dims:[| elements |] ~spe:2 packed in
+  let restored = Ckpt_format.scatter_f64 s ~poison:(-1.) in
+  Alcotest.(check (float 0.)) "elem 1 re" 2. restored.(2);
+  Alcotest.(check (float 0.)) "elem 1 im" 3. restored.(3);
+  Alcotest.(check (float 0.)) "elem 2 re poisoned" (-1.) restored.(4);
+  Alcotest.(check (float 0.)) "elem 3 re" 6. restored.(6)
+
+let test_format_crc_detects_corruption () =
+  let data = Array.init 16 (fun i -> float i) in
+  let file =
+    {
+      Ckpt_format.app = "mg";
+      iteration = 3;
+      sections = [ f64_section ~name:"u" ~dims:[| 16 |] ~spe:1 data ];
+    }
+  in
+  let s = Bytes.of_string (Ckpt_format.encode file) in
+  Bytes.set s 40 (Char.chr (Char.code (Bytes.get s 40) lxor 0x01));
+  (match Ckpt_format.decode (Bytes.to_string s) with
+  | exception Ckpt_format.Corrupt _ -> ()
+  | _ -> Alcotest.fail "corruption not detected");
+  match Ckpt_format.decode "short" with
+  | exception Ckpt_format.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncation not detected"
+
+let test_format_payload_mismatch_rejected () =
+  let s = f64_section ~name:"u" ~dims:[| 4 |] ~spe:1 [| 1.; 2. |] in
+  match
+    Ckpt_format.encode { Ckpt_format.app = "x"; iteration = 0; sections = [ s ] }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch not rejected"
+
+let test_format_aux_file () =
+  let mask = [| true; true; false; true |] in
+  let regions = Regions.of_mask mask in
+  let packed = Ckpt_format.gather_f64 ~data:[| 0.; 1.; 2.; 3. |] ~spe:1 regions in
+  let s = f64_section ~regions ~name:"x" ~dims:[| 4 |] ~spe:1 packed in
+  let full = f64_section ~name:"w" ~dims:[| 2 |] ~spe:1 [| 5.; 6. |] in
+  let file =
+    { Ckpt_format.app = "demo"; iteration = 0; sections = [ s; full ] }
+  in
+  Alcotest.(check string) "aux sidecar" "x 0-2,3-4\n"
+    (Ckpt_format.aux_file_string file);
+  Alcotest.(check int) "aux bytes" 32 (Ckpt_format.aux_bytes s);
+  Alcotest.(check int) "aux bytes full" 0 (Ckpt_format.aux_bytes full);
+  Alcotest.(check int) "payload bytes" 24 (Ckpt_format.payload_bytes s)
+
+let payload_gen =
+  QCheck.Gen.(
+    let* elements = int_range 1 40 in
+    let* spe = int_range 1 3 in
+    let* mask = array_size (return elements) bool in
+    let* values =
+      array_size (return (elements * spe)) (float_bound_inclusive 1e6)
+    in
+    return (elements, spe, mask, values))
+
+let prop_format_pruned_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"pruned section roundtrip"
+    (QCheck.make payload_gen) (fun (elements, spe, mask, values) ->
+      let regions = Regions.of_mask mask in
+      let packed = Ckpt_format.gather_f64 ~data:values ~spe regions in
+      let s =
+        {
+          Ckpt_format.name = "v";
+          dims = [| elements |];
+          spe;
+          regions = Some regions;
+          payload = Ckpt_format.F64 packed;
+        }
+      in
+      let file = { Ckpt_format.app = "p"; iteration = 9; sections = [ s ] } in
+      let file' = Ckpt_format.decode (Ckpt_format.encode file) in
+      let s' = List.hd file'.Ckpt_format.sections in
+      let restored = Ckpt_format.scatter_f64 s' ~poison:Float.nan in
+      Array.for_all
+        (fun e ->
+          Array.for_all
+            (fun k ->
+              let i = (e * spe) + k in
+              if mask.(e) then restored.(i) = values.(i)
+              else Float.is_nan restored.(i))
+            (Array.init spe (fun k -> k)))
+        (Array.init elements (fun e -> e)))
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scvad_test_%d_%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let trivial_file iteration =
+  {
+    Ckpt_format.app = "demo";
+    iteration;
+    sections =
+      [ f64_section ~name:"v" ~dims:[| 3 |] ~spe:1
+          [| float iteration; 1.; 2. |] ];
+  }
+
+let test_store_save_load_latest () =
+  with_tmp_dir (fun dir ->
+      let store = Store.create dir in
+      Alcotest.(check (option reject)) "empty store" None
+        (Option.map ignore (Store.latest store));
+      ignore (Store.save store (trivial_file 5));
+      ignore (Store.save store (trivial_file 12));
+      Alcotest.(check (list int)) "iterations" [ 5; 12 ]
+        (Store.list_iterations store);
+      (match Store.latest store with
+      | Some f -> Alcotest.(check int) "latest" 12 f.Ckpt_format.iteration
+      | None -> Alcotest.fail "latest missing");
+      let f5 = Store.load store 5 in
+      Alcotest.(check int) "load 5" 5 f5.Ckpt_format.iteration;
+      Alcotest.(check bool) "disk bytes positive" true
+        (Store.disk_bytes store 5 > 0))
+
+let test_store_rotation () =
+  with_tmp_dir (fun dir ->
+      let store = Store.create ~keep_last:2 dir in
+      List.iter (fun i -> ignore (Store.save store (trivial_file i))) [ 1; 2; 3; 4 ];
+      Alcotest.(check (list int)) "rotated" [ 3; 4 ]
+        (Store.list_iterations store))
+
+let test_store_no_tmp_left () =
+  with_tmp_dir (fun dir ->
+      let store = Store.create dir in
+      ignore (Store.save store (trivial_file 7));
+      let leftovers =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun n -> Filename.check_suffix n ".tmp")
+      in
+      Alcotest.(check (list string)) "no temp files" [] leftovers)
+
+let test_store_sidecar () =
+  with_tmp_dir (fun dir ->
+      let store = Store.create dir in
+      let regions = Regions.of_mask [| true; false; true |] in
+      let packed = Ckpt_format.gather_f64 ~data:[| 1.; 2.; 3. |] ~spe:1 regions in
+      let file =
+        {
+          Ckpt_format.app = "demo";
+          iteration = 1;
+          sections = [ f64_section ~regions ~name:"v" ~dims:[| 3 |] ~spe:1 packed ];
+        }
+      in
+      let path = Store.save ~sidecar_aux:true store file in
+      Alcotest.(check bool) "aux exists" true (Sys.file_exists (path ^ ".aux"));
+      Store.wipe store;
+      Alcotest.(check (list int)) "wiped" [] (Store.list_iterations store))
+
+let test_failure_helpers () =
+  (match Failure.crash_if ~at:3 ~iteration:2 with
+  | () -> ()
+  | exception _ -> Alcotest.fail "should not crash");
+  (match Failure.crash_if ~at:3 ~iteration:3 with
+  | exception Failure.Crash { iteration = 3 } -> ()
+  | _ -> Alcotest.fail "expected crash");
+  Alcotest.(check bool) "nan poison" true
+    (Float.is_nan (Failure.poison_value Failure.Nan));
+  Alcotest.(check (float 0.)) "garbage poison" 7.5
+    (Failure.poison_value (Failure.Garbage 7.5));
+  Alcotest.(check int) "int poison" 0 (Failure.int_poison_value Failure.Zero)
+
+let suites =
+  [ ( "checkpoint.crc32",
+      [ Alcotest.test_case "known vectors" `Quick test_crc_known_vectors;
+        Alcotest.test_case "incremental" `Quick test_crc_incremental ] );
+    ( "checkpoint.regions",
+      [ Alcotest.test_case "of_mask basics" `Quick test_regions_of_mask_basic;
+        Alcotest.test_case "empty and full" `Quick test_regions_empty_and_full;
+        Alcotest.test_case "complement" `Quick test_regions_complement;
+        Alcotest.test_case "iter order" `Quick test_regions_iter_order;
+        Alcotest.test_case "ill-formed rejected" `Quick test_regions_ill_formed;
+        QCheck_alcotest.to_alcotest prop_regions_roundtrip;
+        QCheck_alcotest.to_alcotest prop_regions_complement_partitions ] );
+    ( "checkpoint.format",
+      [ Alcotest.test_case "full roundtrip" `Quick test_format_roundtrip_full;
+        Alcotest.test_case "pruned roundtrip" `Quick
+          test_format_roundtrip_pruned;
+        Alcotest.test_case "two scalars per element" `Quick test_format_spe2;
+        Alcotest.test_case "CRC detects corruption" `Quick
+          test_format_crc_detects_corruption;
+        Alcotest.test_case "payload mismatch rejected" `Quick
+          test_format_payload_mismatch_rejected;
+        Alcotest.test_case "auxiliary file" `Quick test_format_aux_file;
+        QCheck_alcotest.to_alcotest prop_format_pruned_roundtrip ] );
+    ( "checkpoint.store",
+      [ Alcotest.test_case "save/load/latest" `Quick test_store_save_load_latest;
+        Alcotest.test_case "rotation" `Quick test_store_rotation;
+        Alcotest.test_case "atomic (no temp left)" `Quick test_store_no_tmp_left;
+        Alcotest.test_case "sidecar + wipe" `Quick test_store_sidecar ] );
+    ( "checkpoint.failure",
+      [ Alcotest.test_case "helpers" `Quick test_failure_helpers ] ) ]

@@ -1,0 +1,225 @@
+(* End-to-end tests of the core pipeline on a synthetic application with
+   a known criticality pattern, before the NPB kernels exercise it at
+   scale.
+
+   Toy app: a 10-element array where only elements 0..7 participate in
+   the computation (elements 8..9 model the over-allocation the paper
+   attributes to "imperfect coding"), plus a scalar accumulator and a
+   main-loop index. *)
+
+open Scvad_core
+open Scvad_ad
+
+module Toy : App.S = struct
+  let name = "toy"
+  let description = "stencil on a[0..7] of a 10-element array"
+  let default_niter = 6
+  let analysis_niter = 2
+  let int_taint_masks = None
+
+  module Make (S : Scvad_ad.Scalar.S) = struct
+    type scalar = S.t
+
+    type state = {
+      a : S.t array;
+      mutable acc : S.t;
+      mutable iter_done : int;
+    }
+
+    let create () =
+      {
+        a = Array.init 10 (fun i -> S.of_float (1. +. (0.1 *. float i)));
+        acc = S.zero;
+        iter_done = 0;
+      }
+
+    let step st =
+      for i = 0 to 6 do
+        st.a.(i) <- S.(st.a.(i) +. (of_float 0.1 *. st.a.(i + 1)))
+      done;
+      let sum = ref S.zero in
+      for i = 0 to 7 do
+        sum := S.(!sum +. st.a.(i))
+      done;
+      st.acc <- S.(st.acc +. !sum)
+
+    let run st ~from ~until =
+      for _ = from to until - 1 do
+        step st;
+        st.iter_done <- st.iter_done + 1
+      done
+
+    let iterations_done st = st.iter_done
+    let output st = st.acc
+
+    let float_vars st =
+      [ Variable.of_array ~name:"a" ~doc:"stencil state"
+          (Scvad_nd.Shape.create [ 10 ])
+          st.a;
+        Variable.make ~name:"acc" ~doc:"running reduction"
+          ~shape:Scvad_nd.Shape.scalar ~spe:1
+          ~get:(fun _ _ -> st.acc)
+          ~set:(fun _ _ x -> st.acc <- x)
+          () ]
+
+    let int_vars st =
+      [ {
+          Variable.iname = "it";
+          ishape = Scvad_nd.Shape.scalar;
+          iget = (fun _ -> st.iter_done);
+          iset = (fun _ x -> st.iter_done <- x);
+          icrit = Variable.Always_critical "main loop index";
+          idoc = "main loop index";
+        } ]
+  end
+end
+
+let expected_mask = Array.init 10 (fun i -> i <= 7)
+
+let mask_of_report report vname =
+  (Criticality.find report vname).Criticality.mask
+
+let test_reverse_toy () =
+  let r = Analyzer.analyze (module Toy) in
+  Alcotest.(check (array bool)) "a mask" expected_mask (mask_of_report r "a");
+  Alcotest.(check (array bool)) "acc mask" [| true |] (mask_of_report r "acc");
+  Alcotest.(check (array bool)) "it mask" [| true |] (mask_of_report r "it");
+  let va = Criticality.find r "a" in
+  Alcotest.(check int) "uncritical count" 2 (Criticality.uncritical va);
+  Alcotest.(check int) "total" 10 (Criticality.total va);
+  Alcotest.(check string) "regions" "0-8"
+    (Scvad_checkpoint.Regions.to_string va.Criticality.regions);
+  Alcotest.(check bool) "tape recorded" true (r.Criticality.tape_nodes > 0)
+
+let test_modes_agree_on_toy () =
+  let reverse = Analyzer.analyze ~mode:Criticality.Reverse_gradient (module Toy) in
+  let forward = Analyzer.analyze ~mode:Criticality.Forward_probe (module Toy) in
+  let activity =
+    Analyzer.analyze ~mode:Criticality.Activity_dependence (module Toy)
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check (array bool))
+        (name ^ ": forward = reverse")
+        (mask_of_report reverse name)
+        (mask_of_report forward name);
+      Alcotest.(check (array bool))
+        (name ^ ": activity = reverse")
+        (mask_of_report reverse name)
+        (mask_of_report activity name))
+    [ "a"; "acc" ]
+
+let test_analyze_mid_run () =
+  (* Lifting at a later checkpoint boundary must not change the
+     pattern (access patterns are iteration-invariant). *)
+  let r = Analyzer.analyze ~at_iter:3 ~niter:5 (module Toy) in
+  Alcotest.(check (array bool)) "a mask at t=3" expected_mask
+    (mask_of_report r "a")
+
+let test_analyze_bad_args () =
+  match Analyzer.analyze ~at_iter:5 ~niter:2 (module Toy) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let with_store f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scvad_core_%d_%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  let store = Scvad_checkpoint.Store.create dir in
+  Fun.protect
+    ~finally:(fun () ->
+      Scvad_checkpoint.Store.wipe store;
+      Unix.rmdir dir)
+    (fun () -> f store)
+
+let test_crash_restart_full () =
+  with_store (fun store ->
+      let golden, restarted, ok =
+        Harness.crash_restart_experiment ~store ~every:2 ~crash_at:4
+          (module Toy)
+      in
+      Alcotest.(check bool) "verified" true ok;
+      Alcotest.(check int) "iterations" golden.Harness.iterations
+        restarted.Harness.iterations)
+
+let test_crash_restart_pruned_poisoned () =
+  with_store (fun store ->
+      let report = Analyzer.analyze (module Toy) in
+      let _, _, ok =
+        Harness.crash_restart_experiment ~report ~store ~every:2 ~crash_at:5
+          ~poison:Scvad_checkpoint.Failure.Nan (module Toy)
+      in
+      Alcotest.(check bool) "verified with NaN-poisoned uncritical" true ok)
+
+let test_pruned_restore_poisons_uncritical () =
+  let module I = Toy.Make (Float_scalar) in
+  let st = I.create () in
+  I.run st ~from:0 ~until:3;
+  let report = Analyzer.analyze (module Toy) in
+  let file =
+    Pruned.snapshot ~report ~app:"toy" ~iteration:3
+      ~float_vars:(I.float_vars st) ~int_vars:(I.int_vars st) ()
+  in
+  let st2 = I.create () in
+  let from =
+    Pruned.restore file ~float_vars:(I.float_vars st2)
+      ~int_vars:(I.int_vars st2)
+  in
+  Alcotest.(check int) "restored iteration" 3 from;
+  let module V = Variable in
+  let a2 = List.hd (I.float_vars st2) in
+  for e = 0 to 7 do
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "critical a[%d] restored" e)
+      ((List.hd (I.float_vars st)).V.get e 0)
+      (a2.V.get e 0)
+  done;
+  Alcotest.(check bool) "a[8] poisoned" true (Float.is_nan (a2.V.get 8 0));
+  Alcotest.(check bool) "a[9] poisoned" true (Float.is_nan (a2.V.get 9 0))
+
+let test_storage_accounting () =
+  let report = Analyzer.analyze (module Toy) in
+  let row = Report.table3_row (module Toy) report in
+  (* full: a (10) + acc (1) + it (1) = 12 scalars *)
+  Alcotest.(check int) "original bytes" (12 * 8) row.Report.original_bytes;
+  (* pruned payload: a keeps 8 of 10 elements; acc and it stay full *)
+  Alcotest.(check int) "optimized bytes" (10 * 8) row.Report.optimized_bytes;
+  (* one region of a: two 8-byte bounds in the auxiliary file *)
+  Alcotest.(check int) "aux bytes" 16 row.Report.aux_bytes;
+  Alcotest.(check (float 1e-9)) "saved rate" (2. /. 12.)
+    (Report.saved_rate row)
+
+let test_report_rendering () =
+  let report = Analyzer.analyze (module Toy) in
+  let t1 = Report.table1 [ (module Toy) ] in
+  Alcotest.(check bool) "table1 lists a" true
+    (Astring.String.is_infix ~affix:"double a[10]" t1);
+  Alcotest.(check bool) "table1 lists it" true
+    (Astring.String.is_infix ~affix:"int it" t1);
+  let t2 = Report.table2 [ report ] in
+  Alcotest.(check bool) "table2 row" true
+    (Astring.String.is_infix ~affix:"TOY(a)" t2);
+  Alcotest.(check bool) "table2 rate" true
+    (Astring.String.is_infix ~affix:"20.0%" t2);
+  let t3 = Report.table3 [ Report.table3_row (module Toy) report ] in
+  Alcotest.(check bool) "table3 row" true
+    (Astring.String.is_infix ~affix:"TOY" t3)
+
+let suites =
+  [ ( "core.analyzer",
+      [ Alcotest.test_case "reverse on toy app" `Quick test_reverse_toy;
+        Alcotest.test_case "three modes agree" `Quick test_modes_agree_on_toy;
+        Alcotest.test_case "mid-run checkpoint boundary" `Quick
+          test_analyze_mid_run;
+        Alcotest.test_case "bad arguments" `Quick test_analyze_bad_args ] );
+    ( "core.harness",
+      [ Alcotest.test_case "crash/restart full checkpoint" `Quick
+          test_crash_restart_full;
+        Alcotest.test_case "crash/restart pruned + poisoned" `Quick
+          test_crash_restart_pruned_poisoned;
+        Alcotest.test_case "pruned restore poisons uncritical" `Quick
+          test_pruned_restore_poisons_uncritical ] );
+    ( "core.report",
+      [ Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
+        Alcotest.test_case "table rendering" `Quick test_report_rendering ] ) ]

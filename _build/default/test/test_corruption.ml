@@ -1,0 +1,109 @@
+(* Silent-data-corruption tests: flipping a bit in an uncritical element
+   never changes the output; flipping a high bit of a critical element
+   does.  This is the paper's §IV-C argument run both ways. *)
+
+open Scvad_core
+module Npb = Scvad_npb
+module F = Scvad_checkpoint.Failure
+
+let test_flip_bit_primitives () =
+  let x = 1.5 in
+  Alcotest.(check (float 0.)) "sign flip" (-1.5) (F.flip_bit x ~bit:63);
+  Alcotest.(check (float 0.)) "double flip restores" x
+    (F.flip_bit (F.flip_bit x ~bit:17) ~bit:17);
+  Alcotest.(check bool) "mantissa flip changes value" true
+    (F.flip_bit x ~bit:0 <> x);
+  Alcotest.(check int) "int flip" 5 (F.flip_int_bit 4 ~bit:0);
+  Alcotest.check_raises "bad bit"
+    (Invalid_argument "Failure.flip_bit: bit in 0..63") (fun () ->
+      ignore (F.flip_bit 1. ~bit:64))
+
+(* (app, variable, an uncritical element, a critical element) *)
+let idx4 k j i m = ((((k * 13) + j) * 13) + i) * 5 + m
+
+let cases =
+  [ ((module Npb.Bt.App : App.S), "u", idx4 3 12 5 0, idx4 3 5 5 0, 6);
+    ((module Npb.Cg.App : App.S), "x", 0, 700, 4);
+    ((module Npb.Mg.App : App.S), "u", 46_450, 17 * 34 * 34, 3);
+    ((module Npb.Lu.App : App.S), "rho_i", (3 * 13 * 13) + (12 * 13) + 5,
+     (3 * 13 * 13) + (5 * 13) + 5, 4) ]
+
+let test_uncritical_corruption_harmless () =
+  List.iter
+    (fun ((module A : App.S), var, uncritical, _, niter) ->
+      let _, _, changed =
+        Harness.corrupt_element_experiment ~niter ~at_iter:1 ~var
+          ~element:uncritical (module A)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s(%s)[%d] uncritical corruption harmless" A.name var
+           uncritical)
+        false changed)
+    cases
+
+let test_critical_corruption_detected () =
+  List.iter
+    (fun ((module A : App.S), var, _, critical, niter) ->
+      let _, _, changed =
+        Harness.corrupt_element_experiment ~niter ~bit:51 ~at_iter:1 ~var
+          ~element:critical (module A)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s(%s)[%d] critical corruption changes output" A.name
+           var critical)
+        true changed)
+    cases
+
+(* Every element the analysis calls uncritical is corruption-immune:
+   exhaustive check on CG (only 2 such elements) and sampled on BT. *)
+let test_cg_all_uncritical_immune () =
+  let report = Analyzer.analyze (module Npb.Cg.App) in
+  let mask = (Criticality.find report "x").Criticality.mask in
+  Array.iteri
+    (fun e critical ->
+      if not critical then begin
+        let _, _, changed =
+          Harness.corrupt_element_experiment ~niter:4 ~bit:51 ~at_iter:1
+            ~var:"x" ~element:e (module Npb.Cg.App)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "x[%d] immune" e)
+          false changed
+      end)
+    mask
+
+let test_bt_sampled_uncritical_immune () =
+  let report = Analyzer.analyze (module Npb.Bt.App) in
+  let mask = (Criticality.find report "u").Criticality.mask in
+  let uncritical =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun (e, c) -> if c then None else Some e)
+            (Array.to_seqi mask)))
+  in
+  (* Deterministic sample of 10 uncritical elements across the list. *)
+  let n = List.length uncritical in
+  Alcotest.(check int) "uncritical population" 1500 n;
+  List.iter
+    (fun k ->
+      let e = List.nth uncritical (k * n / 10) in
+      let _, _, changed =
+        Harness.corrupt_element_experiment ~niter:4 ~bit:51 ~at_iter:2 ~var:"u"
+          ~element:e (module Npb.Bt.App)
+      in
+      Alcotest.(check bool) (Printf.sprintf "u[%d] immune" e) false changed)
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+
+let suites =
+  [ ( "corruption",
+      [ Alcotest.test_case "bit-flip primitives" `Quick
+          test_flip_bit_primitives;
+        Alcotest.test_case "uncritical flips are harmless" `Quick
+          test_uncritical_corruption_harmless;
+        Alcotest.test_case "critical flips change the output" `Quick
+          test_critical_corruption_detected;
+        Alcotest.test_case "CG: every uncritical element immune" `Quick
+          test_cg_all_uncritical_immune;
+        Alcotest.test_case "BT: sampled uncritical elements immune" `Slow
+          test_bt_sampled_uncritical_immune ] ) ]

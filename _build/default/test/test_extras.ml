@@ -1,0 +1,249 @@
+(* Additional suites: checkpoint interval theory, union-over-boundaries
+   analysis, golden-output regression pins, and harness robustness
+   properties. *)
+
+open Scvad_core
+module Interval = Scvad_checkpoint.Interval
+
+(* ------------------------------------------------------------------ *)
+(* Interval theory (Young / Daly)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let base = { Interval.checkpoint_cost = 30.; mtbf = 86400.; restart_cost = 120. }
+
+let test_young_formula () =
+  let tau = Interval.young base in
+  Alcotest.(check (float 1e-9)) "sqrt(2CM)" (sqrt (2. *. 30. *. 86400.)) tau
+
+let test_daly_close_to_young_for_small_c () =
+  let y = Interval.young base and d = Interval.daly base in
+  Alcotest.(check bool) "daly positive" true (d > 0.);
+  Alcotest.(check bool) "within 10% of young for C << M" true
+    (abs_float (d -. y) /. y < 0.1)
+
+let test_daly_degrades_to_mtbf () =
+  let p = { base with Interval.checkpoint_cost = 3. *. base.Interval.mtbf } in
+  Alcotest.(check (float 0.)) "tau = M for huge C" base.Interval.mtbf
+    (Interval.daly p)
+
+let test_young_minimizes_overhead () =
+  let tau = Interval.young base in
+  let at t = Interval.expected_overhead base ~tau:t in
+  Alcotest.(check bool) "optimum beats half" true (at tau <= at (tau /. 2.));
+  Alcotest.(check bool) "optimum beats double" true (at tau <= at (tau *. 2.))
+
+let test_compare_pruning () =
+  (* MG's measured saving: 19.1% -> kept fraction 0.809. *)
+  let c = Interval.compare_pruning base ~kept_fraction:0.809 in
+  Alcotest.(check bool) "pruned interval shorter" true
+    (c.Interval.pruned_tau < c.Interval.full_tau);
+  Alcotest.(check bool) "pruned overhead lower" true
+    (c.Interval.pruned_overhead < c.Interval.full_overhead);
+  (* overhead at the optimum scales as sqrt(C): ratio ~ sqrt(0.809) *)
+  let ratio = c.Interval.pruned_overhead /. c.Interval.full_overhead in
+  Alcotest.(check bool) "sqrt scaling" true
+    (abs_float (ratio -. sqrt 0.809) < 0.02)
+
+let test_interval_validation () =
+  Alcotest.check_raises "bad C" (Invalid_argument "Interval: need C > 0, M > 0, R >= 0")
+    (fun () -> ignore (Interval.young { base with Interval.checkpoint_cost = 0. }));
+  Alcotest.check_raises "bad tau"
+    (Invalid_argument "Interval.expected_overhead: tau <= 0") (fun () ->
+      ignore (Interval.expected_overhead base ~tau:0.));
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Interval.compare_pruning: kept_fraction in (0, 1]")
+    (fun () -> ignore (Interval.compare_pruning base ~kept_fraction:1.5))
+
+let prop_young_optimal =
+  QCheck.Test.make ~count:200 ~name:"young's tau minimizes the overhead model"
+    QCheck.(triple (float_range 1. 1000.) (float_range 1e3 1e7) (float_range 0. 1e3))
+    (fun (c, m, r) ->
+      let p = { Interval.checkpoint_cost = c; mtbf = m; restart_cost = r } in
+      let tau = Interval.young p in
+      let best = Interval.expected_overhead p ~tau in
+      List.for_all
+        (fun f -> best <= Interval.expected_overhead p ~tau:(tau *. f) +. 1e-12)
+        [ 0.25; 0.5; 0.9; 1.1; 2.; 4. ])
+
+(* ------------------------------------------------------------------ *)
+(* Union over checkpoint boundaries                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_union_invariant_app () =
+  (* On a boundary-invariant app the union equals any single boundary. *)
+  let single = Analyzer.analyze (module Scvad_npb.Bt.App) in
+  let union =
+    Analyzer.analyze_boundaries ~boundaries:[ 0; 1 ] ~niter:2
+      (module Scvad_npb.Bt.App)
+  in
+  Alcotest.(check (array bool)) "same mask"
+    (Criticality.find single "u").Criticality.mask
+    (Criticality.find union "u").Criticality.mask;
+  Alcotest.(check bool) "tape nodes accumulated" true
+    (union.Criticality.tape_nodes > single.Criticality.tape_nodes)
+
+let test_union_empty_rejected () =
+  match
+    Analyzer.analyze_boundaries ~boundaries:[] (module Scvad_npb.Bt.App)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* Golden-output regression pins                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic outputs at reduced iteration counts; any change to a
+   kernel's numerics shows up here first. *)
+let regression_values =
+  [ ("bt", 6, 0.0065646188991682081);
+    ("sp", 6, 0.0091474311025762263);
+    ("mg", 4, 0.001408108223876016);
+    ("cg", 6, 8.5971744311607825);
+    ("lu", 6, 1.5381629442827509);
+    ("ft", 6, 6118.2323158404288);
+    ("ep", 6, 307924.08826291235);
+    ("is", 6, 30.) ]
+
+let test_golden_regression () =
+  List.iter
+    (fun (name, niter, expected) ->
+      let (module A : App.S) = Option.get (Scvad_npb.Suite.find name) in
+      let g = Harness.golden_run ~niter (module A) in
+      let scale = Float.max 1. (abs_float expected) in
+      if abs_float (g.Harness.output -. expected) > 1e-12 *. scale then
+        Alcotest.failf "%s: output %.17g, pinned %.17g" name g.Harness.output
+          expected)
+    regression_values
+
+(* ------------------------------------------------------------------ *)
+(* Harness robustness: any crash point restarts and verifies           *)
+(* ------------------------------------------------------------------ *)
+
+let with_store f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scvad_extras_%d_%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  let store = Scvad_checkpoint.Store.create dir in
+  Fun.protect
+    ~finally:(fun () ->
+      Scvad_checkpoint.Store.wipe store;
+      Unix.rmdir dir)
+    (fun () -> f store)
+
+let cg_report = lazy (Analyzer.analyze (module Scvad_npb.Cg.App))
+
+let prop_crash_anywhere_verifies =
+  QCheck.Test.make ~count:12
+    ~name:"CG crash/restart verifies at any crash point and interval"
+    QCheck.(pair (int_range 1 5) (int_range 2 5))
+    (fun (every, crash_at) ->
+      QCheck.assume (crash_at >= every);
+      with_store (fun store ->
+          let _, _, ok =
+            Harness.crash_restart_experiment ~report:(Lazy.force cg_report)
+              ~store ~every ~crash_at ~niter:6 (module Scvad_npb.Cg.App)
+          in
+          ok))
+
+let suites =
+  [ ( "extras.interval",
+      [ Alcotest.test_case "Young's formula" `Quick test_young_formula;
+        Alcotest.test_case "Daly ~ Young for small C" `Quick
+          test_daly_close_to_young_for_small_c;
+        Alcotest.test_case "Daly degrades to MTBF" `Quick
+          test_daly_degrades_to_mtbf;
+        Alcotest.test_case "Young minimizes overhead" `Quick
+          test_young_minimizes_overhead;
+        Alcotest.test_case "pruning comparison (MG rates)" `Quick
+          test_compare_pruning;
+        Alcotest.test_case "validation" `Quick test_interval_validation;
+        QCheck_alcotest.to_alcotest prop_young_optimal ] );
+    ( "extras.union",
+      [ Alcotest.test_case "union on invariant app" `Quick
+          test_union_invariant_app;
+        Alcotest.test_case "empty boundaries rejected" `Quick
+          test_union_empty_rejected ] );
+    ( "extras.regression",
+      [ Alcotest.test_case "golden outputs pinned" `Slow test_golden_regression ] );
+    ( "extras.harness",
+      [ QCheck_alcotest.to_alcotest prop_crash_anywhere_verifies ] ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Scaling study: class W                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The criticality patterns are properties of the algorithms, so they
+   must scale with the problem: at class W (64^3 finest grid) MG keeps
+   exactly the finest level of u (66^3) and the restriction read set of
+   r (65^3). *)
+let test_mg_class_w_pattern () =
+  let r = Analyzer.analyze (module Scvad_npb.Mg.App_w) in
+  let u = Criticality.find r "u" and rr = Criticality.find r "r" in
+  Alcotest.(check int) "u total" 334_408 (Criticality.total u);
+  Alcotest.(check int) "u critical = 66^3" (66 * 66 * 66)
+    (Criticality.critical u);
+  Alcotest.(check int) "r critical = 65^3" (65 * 65 * 65)
+    (Criticality.critical rr)
+
+let test_cg_class_w_reference () =
+  let r = Analyzer.analyze (module Scvad_npb.Cg.App_w) in
+  Alcotest.(check int) "2 uncritical at any size" 2
+    (Criticality.uncritical (Criticality.find r "x"));
+  let g = Harness.golden_run (module Scvad_npb.Cg.App_w) in
+  (* NPB's official class-W verification value. *)
+  if Float.abs (g.Harness.output -. 10.362595087124) > 1e-6 then
+    Alcotest.failf "class-W zeta %.13f off the NPB reference" g.Harness.output
+
+let scaling_suite =
+  ( "extras.scaling",
+    [ Alcotest.test_case "MG class W pattern" `Slow test_mg_class_w_pattern;
+      Alcotest.test_case "CG class W NPB reference" `Slow
+        test_cg_class_w_reference ] )
+
+let suites = suites @ [ scaling_suite ]
+
+(* The ADI family obeys closed-form scaling laws.  With grid g (arrays
+   padded to g+1 in j and i):
+   - the Fig. 3 pattern leaves 5 * g * (2g+1) elements uncritical
+     (two padded planes minus their shared edge, per component);
+   - LU's coefficient fields leave g(g+1)^2 - g^3 uncritical;
+   - LU's energy component leaves (g(g+1)^2 - (3(g-2)^2 g - 2(g-2)^3))
+     uncritical (complement of the union of the three sweep ranges). *)
+let fig3_uncritical g = 5 * g * ((2 * g) + 1)
+let coeff_uncritical g = (g * (g + 1) * (g + 1)) - (g * g * g)
+
+let lu_u_uncritical g =
+  let inner = g - 2 in
+  let union = (3 * inner * inner * g) - (2 * inner * inner * inner) in
+  (4 * g * ((2 * g) + 1)) + (g * (g + 1) * (g + 1)) - union
+
+let test_adi_class_w_scaling_laws () =
+  let count name var =
+    let (module A : App.S) = Option.get (Scvad_npb.Suite.find name) in
+    let r = Analyzer.analyze (module A) in
+    Criticality.uncritical (Criticality.find r var)
+  in
+  Alcotest.(check int) "SP class W (g=36)" (fig3_uncritical 36)
+    (count "sp-w" "u");
+  Alcotest.(check int) "LU class W u (g=33)" (lu_u_uncritical 33)
+    (count "lu-w" "u");
+  Alcotest.(check int) "LU class W rho_i" (coeff_uncritical 33)
+    (count "lu-w" "rho_i")
+
+let test_bt_class_w_scaling_law () =
+  let (module A : App.S) = Option.get (Scvad_npb.Suite.find "bt-w") in
+  let r = Analyzer.analyze (module A) in
+  Alcotest.(check int) "BT class W (g=24)" (fig3_uncritical 24)
+    (Criticality.uncritical (Criticality.find r "u"));
+  (* sanity: the same law reproduces the paper's class-S 1500 *)
+  Alcotest.(check int) "law at g=12 = paper's 1500" 1500 (fig3_uncritical 12)
+
+let adi_scaling_suite =
+  ( "extras.scaling_adi",
+    [ Alcotest.test_case "SP/LU class W laws" `Slow
+        test_adi_class_w_scaling_laws;
+      Alcotest.test_case "BT class W law" `Slow test_bt_class_w_scaling_law ] )
+
+let suites = suites @ [ adi_scaling_suite ]

@@ -1,0 +1,88 @@
+(* Tests for shapes and n-dimensional arrays. *)
+
+open Scvad_nd
+
+let test_shape_basics () =
+  let s = Shape.create [ 12; 13; 13; 5 ] in
+  Alcotest.(check int) "size" 10140 (Shape.size s);
+  Alcotest.(check int) "rank" 4 (Shape.rank s);
+  Alcotest.(check int) "stride 0" (13 * 13 * 5) (Shape.stride s 0);
+  Alcotest.(check int) "stride 3" 1 (Shape.stride s 3);
+  Alcotest.(check int) "offset" (((((2 * 13) + 3) * 13) + 4) * 5)
+    (Shape.offset s [| 2; 3; 4; 0 |]);
+  Alcotest.(check string) "to_string" "[12x13x13x5]" (Shape.to_string s)
+
+let test_shape_errors () =
+  Alcotest.check_raises "negative dim"
+    (Invalid_argument "Shape.create: dimensions must be positive") (fun () ->
+      ignore (Shape.create [ 3; -1 ]));
+  let s = Shape.create [ 2; 3 ] in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Shape.offset: out of bounds") (fun () ->
+      ignore (Shape.offset s [| 1; 3 |]));
+  Alcotest.check_raises "rank mismatch"
+    (Invalid_argument "Shape.offset: rank mismatch") (fun () ->
+      ignore (Shape.offset s [| 1 |]))
+
+let test_shape_iter_order () =
+  let s = Shape.create [ 2; 3; 4 ] in
+  let expected = ref 0 in
+  Shape.iter s (fun idx ->
+      Alcotest.(check int) "row-major order" !expected (Shape.offset s idx);
+      incr expected);
+  Alcotest.(check int) "visited all" (Shape.size s) !expected
+
+let shape_gen =
+  QCheck.Gen.(list_size (int_range 1 4) (int_range 1 7))
+
+let prop_offset_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"offset ∘ index_of_offset = id"
+    QCheck.(make ~print:(fun l -> String.concat "x" (List.map string_of_int l))
+              shape_gen)
+    (fun dims ->
+      let s = Shape.create dims in
+      let ok = ref true in
+      for off = 0 to Shape.size s - 1 do
+        if Shape.offset s (Shape.index_of_offset s off) <> off then ok := false
+      done;
+      !ok)
+
+let test_nd_basics () =
+  let s = Shape.create [ 3; 4 ] in
+  let a = Nd.init s (fun idx -> (idx.(0) * 10) + idx.(1)) in
+  Alcotest.(check int) "get" 23 (Nd.get a [| 2; 3 |]);
+  Nd.set a [| 1; 2 |] 99;
+  Alcotest.(check int) "set/get" 99 (Nd.get a [| 1; 2 |]);
+  Alcotest.(check int) "get_flat" 99 (Nd.get_flat a ((1 * 4) + 2));
+  let b = Nd.map (fun x -> x * 2) a in
+  Alcotest.(check int) "map" 198 (Nd.get b [| 1; 2 |]);
+  let c = Nd.copy a in
+  Nd.set_flat c 0 (-1);
+  Alcotest.(check int) "copy independent" 0 (Nd.get_flat a 0)
+
+let test_nd_slice3 () =
+  let s = Shape.create [ 3; 4; 5 ] in
+  let a = Nd.init s (fun idx -> (idx.(0) * 100) + (idx.(1) * 10) + idx.(2)) in
+  let sl = Nd.slice3 a ~axis:0 ~at:2 in
+  Alcotest.(check int) "axis 0 slice" 234 (Nd.get sl [| 3; 4 |]);
+  let sl1 = Nd.slice3 a ~axis:1 ~at:1 in
+  Alcotest.(check int) "axis 1 slice" 214 (Nd.get sl1 [| 2; 4 |]);
+  let sl2 = Nd.slice3 a ~axis:2 ~at:0 in
+  Alcotest.(check int) "axis 2 slice" 230 (Nd.get sl2 [| 2; 3 |])
+
+let test_nd_of_array_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Nd.of_array: data length does not match shape")
+    (fun () -> ignore (Nd.of_array (Shape.create [ 2; 2 ]) [| 1; 2; 3 |]))
+
+let suites =
+  [ ( "nd.shape",
+      [ Alcotest.test_case "basics" `Quick test_shape_basics;
+        Alcotest.test_case "errors" `Quick test_shape_errors;
+        Alcotest.test_case "iter order" `Quick test_shape_iter_order;
+        QCheck_alcotest.to_alcotest prop_offset_roundtrip ] );
+    ( "nd.array",
+      [ Alcotest.test_case "basics" `Quick test_nd_basics;
+        Alcotest.test_case "slice3" `Quick test_nd_slice3;
+        Alcotest.test_case "of_array mismatch" `Quick
+          test_nd_of_array_mismatch ] ) ]

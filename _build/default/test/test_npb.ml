@@ -1,0 +1,346 @@
+(* NPB kernel tests: Table II reproduction, the figure patterns, NPB
+   reference values, and per-kernel crash/restart with pruned, poisoned
+   checkpoints (paper §IV-C). *)
+
+open Scvad_core
+module Npb = Scvad_npb
+
+let analyze = Analyzer.analyze
+
+(* Cache: one analysis per app for the whole suite. *)
+let report_cache : (string, Criticality.report) Hashtbl.t = Hashtbl.create 8
+
+let report_of (module A : App.S) =
+  match Hashtbl.find_opt report_cache A.name with
+  | Some r -> r
+  | None ->
+      let r = analyze (module A) in
+      Hashtbl.add report_cache A.name r;
+      r
+
+(* ------------------------------------------------------------------ *)
+(* Table II                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_table2 () =
+  List.iter
+    (fun (app_name, var, uncritical, total) ->
+      match Npb.Suite.find app_name with
+      | None -> Alcotest.failf "unknown app %s" app_name
+      | Some (module A) ->
+          let r = report_of (module A) in
+          let v = Criticality.find r var in
+          Alcotest.(check int)
+            (Printf.sprintf "%s(%s) total" app_name var)
+            total (Criticality.total v);
+          Alcotest.(check int)
+            (Printf.sprintf "%s(%s) uncritical" app_name var)
+            uncritical (Criticality.uncritical v))
+    Npb.Suite.paper_table2
+
+let test_ep_is_all_critical () =
+  List.iter
+    (fun name ->
+      match Npb.Suite.find name with
+      | None -> Alcotest.failf "unknown app %s" name
+      | Some (module A) ->
+          let r = report_of (module A) in
+          List.iter
+            (fun v ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s(%s) fully critical" name v.Criticality.name)
+                0 (Criticality.uncritical v))
+            r.Criticality.vars)
+    [ "ep"; "is" ]
+
+let test_int_vars_critical_everywhere () =
+  List.iter
+    (fun (module A : App.S) ->
+      let r = report_of (module A) in
+      List.iter
+        (fun v ->
+          if v.Criticality.kind = Criticality.Int_var then
+            Alcotest.(check int)
+              (Printf.sprintf "%s(%s) int critical" A.name v.Criticality.name)
+              0 (Criticality.uncritical v))
+        r.Criticality.vars)
+    Npb.Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Figure patterns                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let idx4 k j i m = ((((k * 13) + j) * 13) + i) * 5 + m
+
+let test_fig3_bt_pattern () =
+  (* Fig. 3: uncritical exactly on the padded planes j = 12, i = 12. *)
+  let r = report_of (module Npb.Bt.App) in
+  let mask = (Criticality.find r "u").Criticality.mask in
+  for k = 0 to 11 do
+    for j = 0 to 12 do
+      for i = 0 to 12 do
+        for m = 0 to 4 do
+          let expected = j < 12 && i < 12 in
+          if mask.(idx4 k j i m) <> expected then
+            Alcotest.failf "bt u[%d][%d][%d][%d]: expected %b" k j i m expected
+        done
+      done
+    done
+  done
+
+let test_fig3_lu_components_0_3 () =
+  let r = report_of (module Npb.Lu.App) in
+  let mask = (Criticality.find r "u").Criticality.mask in
+  for k = 0 to 11 do
+    for j = 0 to 12 do
+      for i = 0 to 12 do
+        for m = 0 to 3 do
+          let expected = j < 12 && i < 12 in
+          if mask.(idx4 k j i m) <> expected then
+            Alcotest.failf "lu u[%d][%d][%d][%d]: expected %b" k j i m expected
+        done
+      done
+    done
+  done
+
+let test_fig7_lu_energy_component () =
+  (* Fig. 7: u[.][4] critical iff in the union of the three directional
+     sweep ranges. *)
+  let r = report_of (module Npb.Lu.App) in
+  let mask = (Criticality.find r "u").Criticality.mask in
+  let in_range lo hi x = x >= lo && x <= hi in
+  let critical = ref 0 in
+  for k = 0 to 11 do
+    for j = 0 to 12 do
+      for i = 0 to 12 do
+        let expected =
+          (in_range 1 10 k && in_range 1 10 j && in_range 0 11 i)
+          || (in_range 1 10 k && in_range 0 11 j && in_range 1 10 i)
+          || (in_range 0 11 k && in_range 1 10 j && in_range 1 10 i)
+        in
+        if mask.(idx4 k j i 4) <> expected then
+          Alcotest.failf "lu u[%d][%d][%d][4]: expected %b" k j i expected;
+        if expected then incr critical
+      done
+    done
+  done;
+  Alcotest.(check int) "union cardinality" 1600 !critical
+
+let test_fig4_mg_u_single_span () =
+  let r = report_of (module Npb.Mg.App) in
+  let v = Criticality.find r "u" in
+  Alcotest.(check string) "one contiguous critical run then uncritical tail"
+    "0-39304"
+    (Scvad_checkpoint.Regions.to_string v.Criticality.regions)
+
+let test_fig5_mg_r_restriction_read_set () =
+  (* Fig. 5: finest-level r critical exactly at indices 1..33 per
+     dimension (the full-weighting read set); coarse levels and slack
+     uncritical. *)
+  let r = report_of (module Npb.Mg.App) in
+  let mask = (Criticality.find r "r").Criticality.mask in
+  let n = 34 in
+  Array.iteri
+    (fun off critical ->
+      let expected =
+        if off >= n * n * n then false
+        else
+          let i1 = off mod n and i2 = off / n mod n and i3 = off / (n * n) in
+          i1 >= 1 && i2 >= 1 && i3 >= 1
+      in
+      if critical <> expected then
+        Alcotest.failf "mg r[%d]: expected %b" off expected)
+    mask
+
+let test_fig6_cg_x_strip () =
+  let r = report_of (module Npb.Cg.App) in
+  let v = Criticality.find r "x" in
+  Alcotest.(check string) "first and last element unused" "1-1401"
+    (Scvad_checkpoint.Regions.to_string v.Criticality.regions)
+
+let test_fig8_ft_padding_plane () =
+  let r = report_of (module Npb.Ft.App) in
+  let mask = (Criticality.find r "y").Criticality.mask in
+  Array.iteri
+    (fun off critical ->
+      let x = off mod 65 in
+      if critical <> (x < 64) then
+        Alcotest.failf "ft y[%d] (x=%d): expected %b" off x (x < 64))
+    mask
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint-boundary invariance                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_bt_boundary_invariance () =
+  let r0 = report_of (module Npb.Bt.App) in
+  let r2 = analyze ~at_iter:2 ~niter:3 (module Npb.Bt.App) in
+  Alcotest.(check (array bool)) "same mask at t=0 and t=2"
+    (Criticality.find r0 "u").Criticality.mask
+    (Criticality.find r2 "u").Criticality.mask
+
+(* ------------------------------------------------------------------ *)
+(* Analysis modes agree (reduced-size CG: forward probe is O(N) runs)  *)
+(* ------------------------------------------------------------------ *)
+
+let test_modes_agree_cg_tiny () =
+  let reverse = analyze ~mode:Criticality.Reverse_gradient (module Npb.Cg.Tiny_app) in
+  let forward = analyze ~mode:Criticality.Forward_probe (module Npb.Cg.Tiny_app) in
+  let activity =
+    analyze ~mode:Criticality.Activity_dependence (module Npb.Cg.Tiny_app)
+  in
+  let mask r = (Criticality.find r "x").Criticality.mask in
+  Alcotest.(check (array bool)) "forward = reverse" (mask reverse) (mask forward);
+  Alcotest.(check (array bool)) "activity = reverse" (mask reverse)
+    (mask activity);
+  Alcotest.(check int) "tiny CG pattern" 2
+    (Criticality.uncritical (Criticality.find reverse "x"))
+
+(* ------------------------------------------------------------------ *)
+(* NPB reference value                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cg_matches_npb_reference () =
+  (* Our makea/conj_grad port reproduces NPB's official class-S
+     verification value zeta = 8.5971775078648. *)
+  let g = Harness.golden_run (module Npb.Cg.App) in
+  let zeta_ref = 8.5971775078648 in
+  if Float.abs (g.Harness.output -. zeta_ref) > 1e-6 then
+    Alcotest.failf "zeta %.13f does not match NPB reference %.13f"
+      g.Harness.output zeta_ref
+
+(* ------------------------------------------------------------------ *)
+(* Crash / restart with pruned, NaN-poisoned checkpoints (§IV-C)       *)
+(* ------------------------------------------------------------------ *)
+
+let with_store f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scvad_npb_%d_%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  let store = Scvad_checkpoint.Store.create dir in
+  Fun.protect
+    ~finally:(fun () ->
+      Scvad_checkpoint.Store.wipe store;
+      Unix.rmdir dir)
+    (fun () -> f store)
+
+let crash_restart ?niter (module A : App.S) ~every ~crash_at () =
+  with_store (fun store ->
+      let report = report_of (module A) in
+      let golden, restarted, ok =
+        Harness.crash_restart_experiment ~report ~store ~every ~crash_at
+          ?niter
+          ~poison:Scvad_checkpoint.Failure.Nan (module A)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s verified after pruned+poisoned restart" A.name)
+        true ok;
+      Alcotest.(check int) "same iteration count" golden.Harness.iterations
+        restarted.Harness.iterations)
+
+let test_crash_restart_bt () =
+  crash_restart (module Npb.Bt.App) ~niter:6 ~every:2 ~crash_at:5 ()
+
+let test_crash_restart_sp () =
+  crash_restart (module Npb.Sp.App) ~niter:6 ~every:2 ~crash_at:5 ()
+
+let test_crash_restart_lu () =
+  crash_restart (module Npb.Lu.App) ~niter:8 ~every:3 ~crash_at:7 ()
+
+let test_crash_restart_mg () =
+  crash_restart (module Npb.Mg.App) ~every:1 ~crash_at:3 ()
+
+let test_crash_restart_cg () =
+  crash_restart (module Npb.Cg.App) ~niter:6 ~every:2 ~crash_at:5 ()
+
+let test_crash_restart_ft () =
+  crash_restart (module Npb.Ft.App) ~niter:4 ~every:1 ~crash_at:2 ()
+
+let test_crash_restart_ep () =
+  crash_restart (module Npb.Ep.App) ~niter:8 ~every:3 ~crash_at:7 ()
+
+let test_crash_restart_is () =
+  crash_restart (module Npb.Is.App) ~every:3 ~crash_at:8 ()
+
+(* Full (unpruned) checkpoints must also roundtrip. *)
+let test_crash_restart_full_checkpoint_bt () =
+  with_store (fun store ->
+      let golden, restarted, ok =
+        Harness.crash_restart_experiment ~store ~every:2 ~crash_at:5 ~niter:6
+          (module Npb.Bt.App)
+      in
+      ignore restarted;
+      Alcotest.(check bool) "bt full-checkpoint restart verified" true ok;
+      Alcotest.(check int) "iterations" 6 golden.Harness.iterations)
+
+(* ------------------------------------------------------------------ *)
+(* Registry / Table I                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry () =
+  Alcotest.(check (list string)) "paper order"
+    [ "bt"; "sp"; "mg"; "cg"; "lu"; "ft"; "ep"; "is" ]
+    Npb.Suite.names;
+  let t1 = Report.table1 Npb.Suite.all in
+  List.iter
+    (fun decl ->
+      if not (Astring.String.is_infix ~affix:decl t1) then
+        Alcotest.failf "Table I misses %S" decl)
+    [ "double u[12][13][13][5]";
+      "double u[46480]";
+      "double r[46480]";
+      "double x[1402]";
+      "double rho_i[12][13][13]";
+      "double qs[12][13][13]";
+      "double rsd[12][13][13][5]";
+      "dcomplex y[64][64][65]";
+      "dcomplex sums[6]";
+      "double q[10]";
+      "int key_array[65536]";
+      "int bucket_ptrs[512]";
+      "int passed_verification";
+      "int iteration";
+      "int step";
+      "int istep";
+      "int kt" ]
+
+let suites =
+  [ ( "npb.table2",
+      [ Alcotest.test_case "paper Table II, exact" `Slow test_table2;
+        Alcotest.test_case "EP and IS fully critical" `Quick
+          test_ep_is_all_critical;
+        Alcotest.test_case "integer variables critical" `Slow
+          test_int_vars_critical_everywhere ] );
+    ( "npb.figures",
+      [ Alcotest.test_case "Fig 3: BT cube pattern" `Quick test_fig3_bt_pattern;
+        Alcotest.test_case "Fig 3: LU components 0-3" `Quick
+          test_fig3_lu_components_0_3;
+        Alcotest.test_case "Fig 7: LU energy component" `Quick
+          test_fig7_lu_energy_component;
+        Alcotest.test_case "Fig 4: MG u single span" `Quick
+          test_fig4_mg_u_single_span;
+        Alcotest.test_case "Fig 5: MG r restriction read set" `Quick
+          test_fig5_mg_r_restriction_read_set;
+        Alcotest.test_case "Fig 6: CG x strip" `Quick test_fig6_cg_x_strip;
+        Alcotest.test_case "Fig 8: FT padding plane" `Slow
+          test_fig8_ft_padding_plane ] );
+    ( "npb.analysis",
+      [ Alcotest.test_case "checkpoint-boundary invariance (BT)" `Quick
+          test_bt_boundary_invariance;
+        Alcotest.test_case "three modes agree (tiny CG)" `Slow
+          test_modes_agree_cg_tiny;
+        Alcotest.test_case "CG matches NPB reference zeta" `Quick
+          test_cg_matches_npb_reference ] );
+    ( "npb.crash_restart",
+      [ Alcotest.test_case "bt" `Quick test_crash_restart_bt;
+        Alcotest.test_case "sp" `Quick test_crash_restart_sp;
+        Alcotest.test_case "lu" `Quick test_crash_restart_lu;
+        Alcotest.test_case "mg" `Quick test_crash_restart_mg;
+        Alcotest.test_case "cg" `Quick test_crash_restart_cg;
+        Alcotest.test_case "ft" `Slow test_crash_restart_ft;
+        Alcotest.test_case "ep" `Quick test_crash_restart_ep;
+        Alcotest.test_case "is" `Quick test_crash_restart_is;
+        Alcotest.test_case "bt (full checkpoint)" `Quick
+          test_crash_restart_full_checkpoint_bt ] );
+    ("npb.registry", [ Alcotest.test_case "Table I" `Quick test_registry ]) ]

@@ -1,0 +1,337 @@
+(* Tests for the linear-algebra substrate: 5x5 blocks, block-tridiagonal
+   and pentadiagonal solvers, complex arithmetic and the FFT — in float
+   mode against dense references, and under AD against finite
+   differences. *)
+
+open Scvad_ad
+module B = Scvad_solvers.Block5.Make (Float_scalar)
+module BT = Scvad_solvers.Btridiag.Make (Float_scalar)
+module P = Scvad_solvers.Pentadiag.Make (Float_scalar)
+module C = Scvad_solvers.Dcomplex.Make (Float_scalar)
+module F = Scvad_solvers.Fft.Make (Float_scalar)
+
+let close ?(eps = 1e-9) msg expected got =
+  let scale = Stdlib.max 1. (abs_float expected) in
+  if abs_float (expected -. got) > eps *. scale then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected got
+
+let rand_state = Random.State.make [| 42 |]
+let rand () = Random.State.float rand_state 2. -. 1.
+
+(* Random diagonally dominant 5x5 block. *)
+let random_block () =
+  let m = B.zero () in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      B.set m i j (rand ())
+    done;
+    B.set m i i (B.get m i i +. 6.)
+  done;
+  m
+
+let random_vec () = Array.init 5 (fun _ -> rand ())
+
+let test_block5_identity () =
+  let m = random_block () in
+  let i5 = B.identity () in
+  let mi = B.matmul m i5 in
+  Array.iteri (fun k v -> close "M*I = M" m.(k) v) mi;
+  let x = random_vec () in
+  let ix = B.matvec i5 x in
+  Array.iteri (fun k v -> close "I*x = x" x.(k) v) ix
+
+let test_block5_solve () =
+  let m = random_block () in
+  let x = random_vec () in
+  let r = B.matvec m x in
+  B.solve m r;
+  Array.iteri (fun k v -> close ~eps:1e-10 "solve recovers x" x.(k) v) r
+
+let test_block5_gauss_jordan_inverse () =
+  (* gauss_jordan with c = I computes A^-1 in c. *)
+  let m = random_block () in
+  let minv = B.identity () in
+  let r = random_vec () in
+  B.gauss_jordan (B.copy m) minv r;
+  let prod = B.matmul m minv in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      close ~eps:1e-9 "A * A^-1 = I"
+        (if i = j then 1. else 0.)
+        (B.get prod i j)
+    done
+  done
+
+let test_block5_of_rows () =
+  let rows = Array.init 5 (fun i -> Array.init 5 (fun j -> float ((i * 5) + j))) in
+  let m = B.of_rows rows in
+  close "of_rows layout" 13. (B.get m 2 3)
+
+(* Dense reference multiply of a block-tridiagonal system. *)
+let btridiag_apply ~a ~b ~c (x : float array array) =
+  let n = Array.length b in
+  Array.init n (fun i ->
+      let acc = B.matvec b.(i) x.(i) in
+      let acc =
+        if i > 0 then Array.map2 ( +. ) acc (B.matvec a.(i) x.(i - 1))
+        else acc
+      in
+      if i < n - 1 then Array.map2 ( +. ) acc (B.matvec c.(i) x.(i + 1))
+      else acc)
+
+let test_btridiag_solve_sizes () =
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun _ -> random_block ()) in
+      let b = Array.init n (fun _ -> random_block ()) in
+      let c = Array.init n (fun _ -> random_block ()) in
+      let x = Array.init n (fun _ -> random_vec ()) in
+      let r = btridiag_apply ~a ~b ~c x in
+      BT.solve ~a ~b ~c ~r;
+      Array.iteri
+        (fun i xi ->
+          Array.iteri
+            (fun k v -> close ~eps:1e-7 (Printf.sprintf "n=%d x[%d][%d]" n i k) v xi.(k))
+            r.(i))
+        x)
+    [ 1; 2; 3; 8; 12 ]
+
+let pentadiag_apply ~e ~a ~d ~c ~f (x : float array) =
+  let n = Array.length d in
+  Array.init n (fun i ->
+      let acc = ref (d.(i) *. x.(i)) in
+      if i >= 2 then acc := !acc +. (e.(i) *. x.(i - 2));
+      if i >= 1 then acc := !acc +. (a.(i) *. x.(i - 1));
+      if i + 1 < n then acc := !acc +. (c.(i) *. x.(i + 1));
+      if i + 2 < n then acc := !acc +. (f.(i) *. x.(i + 2));
+      !acc)
+
+let test_pentadiag_solve_sizes () =
+  List.iter
+    (fun n ->
+      let band () = Array.init n (fun _ -> rand ()) in
+      let e = band () and a = band () and c = band () and f = band () in
+      let d = Array.init n (fun _ -> 8. +. rand ()) in
+      let x = Array.init n (fun _ -> rand ()) in
+      let r = pentadiag_apply ~e ~a ~d ~c ~f x in
+      P.solve ~e ~a ~d ~c ~f ~r;
+      Array.iteri
+        (fun i xi -> close ~eps:1e-8 (Printf.sprintf "n=%d x[%d]" n i) xi r.(i))
+        x)
+    [ 1; 2; 3; 5; 12; 33 ]
+
+let test_dcomplex_mul () =
+  let a = C.of_floats 1.5 (-2.) in
+  let b = C.of_floats 0.25 3. in
+  let p = C.mul a b in
+  let refc = Complex.mul { re = 1.5; im = -2. } { re = 0.25; im = 3. } in
+  close "re" refc.re (Float_scalar.to_float (C.re p));
+  close "im" refc.im (Float_scalar.to_float (C.im p));
+  let c = C.conj a in
+  close "conj" 2. (C.im c);
+  close "abs2" (1.5 ** 2. +. 4.) (C.abs2 a)
+
+(* Naive DFT reference. *)
+let dft_naive sign (input : Complex.t array) =
+  let n = Array.length input in
+  Array.init n (fun k ->
+      let acc = ref Complex.zero in
+      for j = 0 to n - 1 do
+        let angle = sign *. 2. *. Float.pi *. float_of_int (j * k) /. float_of_int n in
+        let w = { Complex.re = cos angle; im = sin angle } in
+        acc := Complex.add !acc (Complex.mul w input.(j))
+      done;
+      !acc)
+
+let random_signal n = Array.init n (fun _ -> { Complex.re = rand (); im = rand () })
+
+let to_c (z : Complex.t) = C.of_floats z.re z.im
+
+let test_fft_matches_dft () =
+  List.iter
+    (fun n ->
+      let signal = random_signal n in
+      let a = Array.map to_c signal in
+      F.forward a ~off:0 ~n;
+      let expected = dft_naive (-1.) signal in
+      Array.iteri
+        (fun k z ->
+          let re, im = C.to_floats z in
+          close ~eps:1e-9 (Printf.sprintf "n=%d re[%d]" n k) expected.(k).re re;
+          close ~eps:1e-9 (Printf.sprintf "n=%d im[%d]" n k) expected.(k).im im)
+        a)
+    [ 1; 2; 4; 8; 16; 64 ]
+
+let test_fft_roundtrip () =
+  let n = 64 in
+  let signal = random_signal n in
+  let a = Array.map to_c signal in
+  F.forward a ~off:0 ~n;
+  F.inverse a ~off:0 ~n;
+  Array.iteri
+    (fun k z ->
+      let re, im = C.to_floats z in
+      close ~eps:1e-10 "roundtrip re" signal.(k).re re;
+      close ~eps:1e-10 "roundtrip im" signal.(k).im im)
+    a
+
+let test_fft_delta () =
+  (* FFT of a delta is the constant 1. *)
+  let n = 16 in
+  let a = Array.init n (fun i -> if i = 0 then C.one else C.zero) in
+  F.forward a ~off:0 ~n;
+  Array.iter
+    (fun z ->
+      let re, im = C.to_floats z in
+      close "delta re" 1. re;
+      close "delta im" 0. im)
+    a
+
+let test_fft_subrange () =
+  (* Transform only a pencil in the middle of a larger array. *)
+  let total = 32 and off = 8 and n = 16 in
+  let signal = random_signal total in
+  let a = Array.map to_c signal in
+  F.forward a ~off ~n;
+  let expected = dft_naive (-1.) (Array.sub signal off n) in
+  for k = 0 to n - 1 do
+    let re, im = C.to_floats a.(off + k) in
+    close "pencil re" expected.(k).re re;
+    close "pencil im" expected.(k).im im
+  done;
+  (* Outside the pencil untouched. *)
+  let re, im = C.to_floats a.(0) in
+  close "before untouched re" signal.(0).re re;
+  close "before untouched im" signal.(0).im im
+
+let test_fft_bad_size () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Fft.transform: n must be 2^k") (fun () ->
+      F.forward (Array.make 12 C.zero) ~off:0 ~n:12)
+
+(* AD through the solvers: gradient vs finite differences. *)
+
+(* f(params) = sum of solution of a diagonally dominant block-tridiagonal
+   system built from params. *)
+module Btridiag_fn (S : Scalar.S) = struct
+  let n = 4
+
+  let run (get : int -> S.t) =
+    let module BTx = Scvad_solvers.Btridiag.Make (S) in
+    let pos = ref 0 in
+    let nextv () =
+      let v = get !pos in
+      incr pos;
+      v
+    in
+    let block ~dom =
+      let m = Array.init 25 (fun _ -> nextv ()) in
+      if dom then
+        for i = 0 to 4 do
+          m.((i * 5) + i) <- S.(m.((i * 5) + i) +. of_float 8.)
+        done;
+      m
+    in
+    let a = Array.init n (fun _ -> block ~dom:false) in
+    let b = Array.init n (fun _ -> block ~dom:true) in
+    let c = Array.init n (fun _ -> block ~dom:false) in
+    let r = Array.init n (fun _ -> Array.init 5 (fun _ -> nextv ())) in
+    BTx.solve ~a ~b ~c ~r;
+    let acc = ref S.zero in
+    Array.iter (Array.iter (fun v -> acc := S.(!acc +. v))) r;
+    !acc
+end
+
+let test_ad_through_btridiag () =
+  let n = 4 in
+  let mk_input () =
+    Array.init (n * ((3 * 25) + 5)) (fun i -> 0.1 +. (0.01 *. float i))
+  in
+  let float_f (x : float array) =
+    let module R = Btridiag_fn (Float_scalar) in
+    R.run (fun i -> x.(i))
+  in
+  let x = mk_input () in
+  let tape = Tape.create () in
+  let module S = Reverse.Scalar_of (struct
+    let tape = tape
+  end) in
+  let vars = Array.map (Reverse.var tape) x in
+  let out =
+    let module R = Btridiag_fn (S) in
+    R.run (fun i -> vars.(i))
+  in
+  let g = Reverse.backward tape out in
+  close ~eps:1e-9 "primal agrees" (float_f (Array.copy x)) (Reverse.value out);
+  (* Spot-check a handful of coordinates against finite differences. *)
+  List.iter
+    (fun i ->
+      let fd = Finite_diff.derivative ~h:1e-6 float_f (Array.copy x) i in
+      close ~eps:2e-4
+        (Printf.sprintf "d out/d x%d" i)
+        fd
+        (Reverse.grad g vars.(i)))
+    [ 0; 13; 77; 150; Array.length x - 1 ]
+
+module Fft_fn (S : Scalar.S) = struct
+  let n = 16
+
+  let run (get : int -> S.t) =
+    let module Cx = Scvad_solvers.Dcomplex.Make (S) in
+    let module Fx = Scvad_solvers.Fft.Make (S) in
+    let a = Array.init n (fun i -> Cx.make (get (2 * i)) (get ((2 * i) + 1))) in
+    Fx.forward a ~off:0 ~n;
+    (* checksum-like output *)
+    let acc = ref S.zero in
+    Array.iter (fun z -> acc := S.(!acc +. Cx.re z +. Cx.im z)) a;
+    !acc
+end
+
+let test_ad_through_fft () =
+  let n = 16 in
+  let base = Array.init (2 * n) (fun i -> sin (float i)) in
+  let float_f x =
+    let module R = Fft_fn (Float_scalar) in
+    R.run (fun i -> x.(i))
+  in
+  let tape = Tape.create () in
+  let module S = Reverse.Scalar_of (struct
+    let tape = tape
+  end) in
+  let vars = Array.map (Reverse.var tape) base in
+  let out =
+    let module R = Fft_fn (S) in
+    R.run (fun i -> vars.(i))
+  in
+  let g = Reverse.backward tape out in
+  List.iter
+    (fun i ->
+      let fd = Finite_diff.derivative float_f (Array.copy base) i in
+      close ~eps:1e-4 (Printf.sprintf "fft grad %d" i) fd (Reverse.grad g vars.(i)))
+    [ 0; 1; 7; 30 ]
+
+let suites =
+  [ ( "solvers.block5",
+      [ Alcotest.test_case "identity laws" `Quick test_block5_identity;
+        Alcotest.test_case "solve" `Quick test_block5_solve;
+        Alcotest.test_case "gauss-jordan inverse" `Quick
+          test_block5_gauss_jordan_inverse;
+        Alcotest.test_case "of_rows" `Quick test_block5_of_rows ] );
+    ( "solvers.btridiag",
+      [ Alcotest.test_case "solve, several sizes" `Quick
+          test_btridiag_solve_sizes;
+        Alcotest.test_case "AD gradient vs finite diff" `Quick
+          test_ad_through_btridiag ] );
+    ( "solvers.pentadiag",
+      [ Alcotest.test_case "solve, several sizes" `Quick
+          test_pentadiag_solve_sizes ] );
+    ( "solvers.dcomplex",
+      [ Alcotest.test_case "mul/conj/abs2" `Quick test_dcomplex_mul ] );
+    ( "solvers.fft",
+      [ Alcotest.test_case "matches naive DFT" `Quick test_fft_matches_dft;
+        Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+        Alcotest.test_case "delta" `Quick test_fft_delta;
+        Alcotest.test_case "subrange pencil" `Quick test_fft_subrange;
+        Alcotest.test_case "bad size" `Quick test_fft_bad_size;
+        Alcotest.test_case "AD gradient vs finite diff" `Quick
+          test_ad_through_fft ] ) ]

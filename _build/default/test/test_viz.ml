@@ -1,0 +1,141 @@
+(* Tests for the visualization library. *)
+
+open Scvad_viz
+
+let test_ascii_grid () =
+  let g = Ascii.grid ~rows:2 ~cols:3 [| true; false; true; false; true; false |] in
+  Alcotest.(check string) "grid" "#.#\n.#.\n" g;
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Ascii.grid: mask size does not match rows*cols")
+    (fun () -> ignore (Ascii.grid ~rows:2 ~cols:2 [| true |]))
+
+let test_ascii_grid_color () =
+  let g = Ascii.grid ~color:true ~rows:1 ~cols:2 [| true; false |] in
+  Alcotest.(check bool) "contains red escape" true
+    (Astring.String.is_infix ~affix:"\x1b[31m" g);
+  Alcotest.(check bool) "contains blue escape" true
+    (Astring.String.is_infix ~affix:"\x1b[34m" g)
+
+let test_ascii_bar () =
+  let mask = Array.init 100 (fun i -> i < 50) in
+  let bar = Ascii.bar ~width:10 mask in
+  Alcotest.(check string) "half and half" "#####....." bar;
+  let mixed = Ascii.bar ~width:1 [| true; false |] in
+  Alcotest.(check string) "mixed bucket" "+" mixed;
+  Alcotest.(check string) "empty" "" (Ascii.bar [||])
+
+let test_ascii_density () =
+  let mask = Array.init 20 (fun i -> i mod 2 = 0) in
+  let d = Ascii.density ~buckets:2 mask in
+  match d with
+  | [ (0, 10, c1, 10); (10, 20, c2, 10) ] ->
+      Alcotest.(check int) "bucket 1" 5 c1;
+      Alcotest.(check int) "bucket 2" 5 c2
+  | _ -> Alcotest.fail "unexpected density shape"
+
+let test_ppm_roundtrip () =
+  let img = Ppm.of_grid ~scale:2 ~rows:2 ~cols:2 [| true; false; false; true |] in
+  let path = Filename.temp_file "scvad_viz" ".ppm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ppm.write path img;
+      let ic = open_in_bin path in
+      let header = really_input_string ic 11 in
+      close_in ic;
+      Alcotest.(check string) "ppm header" "P6\n4 4\n255\n" header;
+      Alcotest.(check int) "file size" (11 + (3 * 16))
+        (Unix.stat path).Unix.st_size)
+
+let test_ppm_montage () =
+  let s = [| true; false; false; true |] in
+  let img = Ppm.montage ~scale:1 ~rows:2 ~cols:2 [ s; s; s ] in
+  (* 3 slices of width 2 plus 2 gutters of width 1 = 8 pixels wide *)
+  let path = Filename.temp_file "scvad_viz" ".ppm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ppm.write path img;
+      let ic = open_in_bin path in
+      let header = really_input_string ic 11 in
+      close_in ic;
+      Alcotest.(check string) "montage header" "P6\n8 2\n255\n" header)
+
+(* A synthetic BT-style cube: 4x5x5 with uncritical planes j=4, i=4. *)
+let synthetic_cube () =
+  let d0 = 4 and d1 = 5 and d2 = 5 in
+  let mask =
+    Array.init (d0 * d1 * d2) (fun off ->
+        let i = off mod d2 and j = off / d2 mod d1 in
+        j < 4 && i < 4)
+  in
+  Cube.of_mask ~dims:[| d0; d1; d2 |] mask
+
+let test_cube_planes () =
+  let cube = synthetic_cube () in
+  Alcotest.(check (list string)) "uncritical planes" [ "axis1=4"; "axis2=4" ]
+    (Cube.uncritical_planes cube);
+  let crit, unc = Cube.counts cube in
+  Alcotest.(check int) "critical" (4 * 4 * 4) crit;
+  Alcotest.(check int) "uncritical" ((4 * 5 * 5) - 64) unc;
+  Alcotest.(check int) "slices" 4 (List.length (Cube.slices cube))
+
+let test_cube_component () =
+  (* 2x2x2x3 4-D mask in which only component 1 is critical. *)
+  let mask = Array.init (2 * 2 * 2 * 3) (fun off -> off mod 3 = 1) in
+  let c1 = Cube.component ~dims4:[| 2; 2; 2; 3 |] mask ~m:1 in
+  let crit, unc = Cube.counts c1 in
+  Alcotest.(check int) "component 1 critical" 8 crit;
+  Alcotest.(check int) "component 1 uncritical" 0 unc;
+  let c0 = Cube.component ~dims4:[| 2; 2; 2; 3 |] mask ~m:0 in
+  Alcotest.(check int) "component 0 critical" 0 (fst (Cube.counts c0))
+
+let test_strip () =
+  let strip = Strip.of_mask ~name:"x" (Array.init 10 (fun i -> i < 8)) in
+  Alcotest.(check string) "run length" "0-8" (Strip.run_length strip);
+  let text = Strip.to_ascii ~width:10 strip in
+  Alcotest.(check bool) "counts present" true
+    (Astring.String.is_infix ~affix:"8 critical, 2 uncritical" text);
+  Alcotest.(check string) "window" "##" (Strip.window ~width:2 strip ~lo:0 ~hi:4);
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Strip.window: bad bounds") (fun () ->
+      ignore (Strip.window strip ~lo:5 ~hi:3))
+
+let test_figures_on_bt_and_cg () =
+  let bt = Scvad_core.Analyzer.analyze (module Scvad_npb.Bt.App) in
+  let fig = Figures.fig3 (Scvad_core.Criticality.find bt "u") in
+  Alcotest.(check bool) "fig3 names the pad planes" true
+    (Astring.String.is_infix ~affix:"axis1=12, axis2=12" fig.Figures.text);
+  Alcotest.(check int) "fig3 has an image" 1 (List.length fig.Figures.images);
+  let cg = Scvad_core.Analyzer.analyze (module Scvad_npb.Cg.App) in
+  let fig6 = Figures.fig6 (Scvad_core.Criticality.find cg "x") in
+  Alcotest.(check bool) "fig6 spans" true
+    (Astring.String.is_infix ~affix:"1-1401" fig6.Figures.text)
+
+let test_figures_write_images () =
+  let bt = Scvad_core.Analyzer.analyze (module Scvad_npb.Bt.App) in
+  let fig = Figures.fig3 (Scvad_core.Criticality.find bt "u") in
+  let dir = Filename.get_temp_dir_name () in
+  let paths = Figures.write_images ~dir fig in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p ^ " exists") true (Sys.file_exists p);
+      Sys.remove p)
+    paths
+
+let suites =
+  [ ( "viz.ascii",
+      [ Alcotest.test_case "grid" `Quick test_ascii_grid;
+        Alcotest.test_case "grid color" `Quick test_ascii_grid_color;
+        Alcotest.test_case "bar" `Quick test_ascii_bar;
+        Alcotest.test_case "density" `Quick test_ascii_density ] );
+    ( "viz.ppm",
+      [ Alcotest.test_case "roundtrip" `Quick test_ppm_roundtrip;
+        Alcotest.test_case "montage" `Quick test_ppm_montage ] );
+    ( "viz.cube",
+      [ Alcotest.test_case "plane summary" `Quick test_cube_planes;
+        Alcotest.test_case "component extraction" `Quick test_cube_component ] );
+    ("viz.strip", [ Alcotest.test_case "strip" `Quick test_strip ]);
+    ( "viz.figures",
+      [ Alcotest.test_case "fig3/fig6 content" `Quick test_figures_on_bt_and_cg;
+        Alcotest.test_case "image writing" `Quick test_figures_write_images ] ) ]
