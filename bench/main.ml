@@ -283,6 +283,32 @@ let bench_mixed =
                 (Scvad_core.Mixed.snapshot ~plans ~app:"cg" ~iteration:1
                    ~float_vars:(I.float_vars st) ~int_vars:(I.int_vars st) ())))) ]
 
+(* Resilience: end-to-end checkpoint-write throughput, with and without
+   the read-back CRC verification that guards the atomic rename. *)
+let bench_store_writes =
+  let (module A : Scvad_core.App.S) = app "bt" in
+  let report = report_of (module A) in
+  let module I = A.Make (Scvad_ad.Float_scalar) in
+  let st = I.create () in
+  I.run st ~from:0 ~until:1;
+  let file =
+    Scvad_core.Pruned.snapshot ~report ~app:"bt" ~iteration:1
+      ~float_vars:(I.float_vars st) ~int_vars:(I.int_vars st) ()
+  in
+  let store verify_writes tag =
+    Scvad_checkpoint.Store.create ~verify_writes
+      ~retention:{ Scvad_checkpoint.Store.keep_last = Some 2; keep_every = None }
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "scvad_bench_store_%s_%d" tag (Unix.getpid ())))
+  in
+  let verified = store true "v" and unverified = store false "nv" in
+  [ Test.make ~name:"resilience/bt_save_verified"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Scvad_checkpoint.Store.save verified file)));
+    Test.make ~name:"resilience/bt_save_unverified"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Scvad_checkpoint.Store.save unverified file))) ]
+
 (* Ablation: region-codec cost vs mask fragmentation. *)
 let bench_regions =
   List.map
@@ -349,4 +375,6 @@ let () =
   run_group ~quota:0.5 "Extension: impact + mixed precision (CG)" bench_mixed;
   run_group ~quota:0.25 "Baseline: incremental checkpointing (BT)"
     bench_incremental;
+  run_group ~quota:0.25 "Resilience: checkpoint write throughput (BT, pruned)"
+    bench_store_writes;
   say "\ndone.\n"

@@ -70,6 +70,49 @@ let poison_arg =
   Arg.(value & opt (enum poisons) Scvad_checkpoint.Failure.Nan
        & info [ "poison" ] ~doc)
 
+let retain_arg =
+  let doc =
+    "Retention: keep only the $(docv) newest checkpoints (older ones are
+     garbage-collected after each save)."
+  in
+  Arg.(value & opt (some int) None & info [ "retain"; "k" ] ~docv:"K" ~doc)
+
+let retain_every_arg =
+  let doc =
+    "Additionally retain older checkpoints whose iteration is divisible
+     by $(docv) (the sparse level of the retention ladder)."
+  in
+  Arg.(value & opt (some int) None & info [ "retain-every" ] ~docv:"M" ~doc)
+
+let inject_arg =
+  let doc =
+    "Deterministic I/O fault injection seeded with $(docv): torn writes,
+     truncations, single-bit flips (5% each) and transient retried
+     failures (10%)."
+  in
+  Arg.(value & opt (some int) None & info [ "inject" ] ~docv:"SEED" ~doc)
+
+let no_verify_arg =
+  let doc =
+    "Disable write verification (read-back + CRC check before the atomic
+     rename); injected write faults then land on disk."
+  in
+  Arg.(value & flag & info [ "no-verify" ] ~doc)
+
+let print_fault_events store_faults =
+  match store_faults with
+  | None -> ()
+  | Some plan ->
+      let events = Scvad_checkpoint.Io_fault.events plan in
+      Printf.printf "injected faults: %d\n" (List.length events);
+      List.iter
+        (fun e ->
+          Printf.printf "  op %3d %-10s %s (%s)\n" e.Scvad_checkpoint.Io_fault.op
+            (Scvad_checkpoint.Io_fault.kind_name e.Scvad_checkpoint.Io_fault.kind)
+            (Filename.basename e.Scvad_checkpoint.Io_fault.path)
+            e.Scvad_checkpoint.Io_fault.detail)
+        events
+
 let handle = function
   | Ok () -> 0
   | Error msg ->
@@ -215,19 +258,34 @@ let crash_arg =
   Arg.(value & opt (some int) None & info [ "crash-at" ] ~docv:"N" ~doc)
 
 let checkpoint_cmd =
-  let run name dir every pruned crash_at niter =
+  let run name dir every pruned crash_at niter retain retain_every inject
+      no_verify =
     handle
       (Result.map
          (fun (module A : Scvad_core.App.S) ->
-           let store = Scvad_checkpoint.Store.create dir in
+           let faults =
+             Option.map
+               (fun seed ->
+                 Scvad_checkpoint.Io_fault.plan ~torn_write_rate:0.05
+                   ~truncation_rate:0.05 ~bit_flip_rate:0.05
+                   ~transient_rate:0.1 ~seed ())
+               inject
+           in
+           let store =
+             Scvad_checkpoint.Store.create
+               ~retention:
+                 { Scvad_checkpoint.Store.keep_last = retain;
+                   keep_every = retain_every }
+               ~verify_writes:(not no_verify) ?faults dir
+           in
            let report =
              if pruned then Some (Scvad_core.Analyzer.analyze (module A))
              else None
            in
-           match
-             Scvad_core.Harness.run_with_checkpoints ?report ?crash_at ?niter
-               ~store ~every (module A)
-           with
+           (match
+              Scvad_core.Harness.run_with_checkpoints ?report ?crash_at ?niter
+                ~store ~every (module A)
+            with
            | g ->
                Printf.printf "%s finished: output %.15g (%d iterations)\n"
                  A.name g.Scvad_core.Harness.output
@@ -243,25 +301,52 @@ let checkpoint_cmd =
                Printf.printf "checkpoints available: %s\n"
                  (String.concat ", "
                     (List.map string_of_int
-                       (Scvad_checkpoint.Store.list_iterations store))))
+                       (Scvad_checkpoint.Store.list_iterations store))));
+           print_fault_events faults)
          (find_app name))
   in
   Cmd.v
     (Cmd.info "checkpoint"
-       ~doc:"Run with periodic (optionally pruned) checkpoints")
+       ~doc:
+         "Run with periodic (optionally pruned) checkpoints, retention and \
+          fault injection")
     Term.(
       const run $ app_arg $ dir_arg $ every_arg $ pruned_arg $ crash_arg
-      $ niter_arg)
+      $ niter_arg $ retain_arg $ retain_every_arg $ inject_arg $ no_verify_arg)
+
+let resilient_arg =
+  let doc =
+    "Walk backward over corrupt checkpoints to the newest valid one
+     instead of trusting the newest file (cold restart if none survives)."
+  in
+  Arg.(value & flag & info [ "resilient" ] ~doc)
 
 let restart_cmd =
-  let run name dir poison niter =
+  let run name dir poison niter resilient =
     handle
       (Result.map
          (fun (module A : Scvad_core.App.S) ->
            let store = Scvad_checkpoint.Store.create dir in
            let g =
-             Scvad_core.Harness.restart_from_latest ~poison ?niter ~store
-               (module A)
+             if resilient then begin
+               let r =
+                 Scvad_core.Harness.restart_resilient ~poison ?niter ~store
+                   (module A)
+               in
+               List.iter
+                 (fun (it, reason) ->
+                   Printf.printf "skipped checkpoint %d: %s\n" it reason)
+                 r.Scvad_core.Harness.skipped;
+               Printf.printf
+                 (if r.Scvad_core.Harness.restored_iteration = 0 then
+                    "cold restart from iteration %d\n"
+                  else "restored checkpoint at iteration %d\n")
+                 r.Scvad_core.Harness.restored_iteration;
+               r.Scvad_core.Harness.run
+             end
+             else
+               Scvad_core.Harness.restart_from_latest ~poison ?niter ~store
+                 (module A)
            in
            let golden = Scvad_core.Harness.golden_run ?niter (module A) in
            Printf.printf "%s restarted: output %.15g (golden %.15g) -> %s\n"
@@ -273,8 +358,9 @@ let restart_cmd =
   in
   Cmd.v
     (Cmd.info "restart"
-       ~doc:"Restore the latest checkpoint, finish the run, verify")
-    Term.(const run $ app_arg $ dir_arg $ poison_arg $ niter_arg)
+       ~doc:"Restore a checkpoint, finish the run, verify")
+    Term.(
+      const run $ app_arg $ dir_arg $ poison_arg $ niter_arg $ resilient_arg)
 
 (* ------------------------------------------------------------------ *)
 (* impact                                                              *)

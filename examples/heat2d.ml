@@ -120,10 +120,11 @@ let () =
   (* Crash / pruned restart / verification. *)
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "scvad_heat2d" in
   let store = Scvad_checkpoint.Store.create dir in
-  let _, _, ok =
+  let e =
     Harness.crash_restart_experiment ~report ~store ~every:25 ~crash_at:160
       ~poison:Scvad_checkpoint.Failure.Nan (module Heat)
   in
   Printf.printf "crash at iter 160, pruned NaN-poisoned restart: %s\n"
-    (if ok then "VERIFICATION SUCCESSFUL" else "VERIFICATION FAILED");
+    (if e.Harness.verified then "VERIFICATION SUCCESSFUL"
+     else "VERIFICATION FAILED");
   Scvad_checkpoint.Store.wipe store

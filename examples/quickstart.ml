@@ -108,13 +108,13 @@ let () =
 let () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "scvad_quickstart" in
   let store = Scvad_checkpoint.Store.create dir in
-  let golden, restarted, ok =
+  let e =
     Harness.crash_restart_experiment ~report ~store ~every:3 ~crash_at:7
       ~poison:Scvad_checkpoint.Failure.Nan (module Demo)
   in
   Printf.printf "== crash/restart with a pruned, NaN-poisoned checkpoint\n";
-  Printf.printf "golden output    = %.15g\n" golden.Harness.output;
-  Printf.printf "restarted output = %.15g\n" restarted.Harness.output;
+  Printf.printf "golden output    = %.15g\n" e.Harness.golden.Harness.output;
+  Printf.printf "restarted output = %.15g\n" e.Harness.restarted.Harness.output;
   Printf.printf "verification     = %s\n"
-    (if ok then "SUCCESSFUL" else "FAILED");
+    (if e.Harness.verified then "SUCCESSFUL" else "FAILED");
   Scvad_checkpoint.Store.wipe store

@@ -16,7 +16,11 @@ module Cg = Scvad_npb.Cg
 
 let () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "scvad_restart_demo" in
-  let store = Scvad_checkpoint.Store.create ~keep_last:3 dir in
+  let store =
+    Scvad_checkpoint.Store.create
+      ~retention:{ Scvad_checkpoint.Store.keep_last = Some 3; keep_every = None }
+      dir
+  in
   Scvad_checkpoint.Store.wipe store;
 
   Printf.printf "== 1. scrutiny of CG's checkpoint variables\n%!";

@@ -1,0 +1,55 @@
+(** Little-endian binary encoding helpers for the checkpoint format.
+
+    [Wr] appends fixed-width little-endian values to a [Buffer.t];
+    [Rd] consumes them from an immutable string with an explicit
+    cursor, raising {!Rd.Underrun} past the end.  Integers are encoded
+    as their 64-bit two's-complement image; floats as IEEE-754 bits. *)
+
+module Wr : sig
+  type t = Buffer.t
+
+  val create : unit -> t
+
+  (** Lowest 8 bits of the argument. *)
+  val u8 : t -> int -> unit
+
+  (** 4 bytes; raises [Invalid_argument] on a negative argument. *)
+  val u32 : t -> int -> unit
+
+  (** 8 bytes. *)
+  val i64 : t -> int64 -> unit
+
+  val int_as_i64 : t -> int -> unit
+
+  (** IEEE-754 bits of the double, 8 bytes. *)
+  val f64 : t -> float -> unit
+
+  (** [u32] length prefix followed by the raw bytes. *)
+  val str : t -> string -> unit
+
+  val contents : t -> string
+end
+
+module Rd : sig
+  type t
+
+  (** Raised when a read runs past the end of the data. *)
+  exception Underrun
+
+  val of_string : string -> t
+
+  (** Bytes left before the cursor hits the end. *)
+  val remaining : t -> int
+
+  val u8 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int64
+  val int_from_i64 : t -> int
+  val f64 : t -> float
+
+  (** [raw r len]: [len] raw bytes without a length prefix. *)
+  val raw : t -> int -> string
+
+  (** [u32] length prefix followed by that many raw bytes. *)
+  val str : t -> string
+end

@@ -1,0 +1,200 @@
+(* Deterministic fault injection on the checkpoint I/O path.
+
+   Fault tolerance that is never exercised is a theory; this module makes
+   the checkpoint store's degradation paths testable.  A [plan] carries a
+   seeded splitmix64 stream, and every write/read routed through it may
+   suffer exactly one injected fault drawn from that stream:
+
+   - torn write: only a prefix of the data reaches the disk (a crash in
+     the middle of [write]);
+   - truncation: the tail of the data is lost (a crash between [write]
+     and [fsync], or a filesystem that lies about durability);
+   - bit flip: one random bit of the landed data is inverted (silent
+     media corruption);
+   - transient: the operation fails 1..[max_transient_failures] times
+     with an EINTR-style error before succeeding — the wrapper retries
+     with bounded exponential backoff, so a well-behaved caller never
+     observes these at all.
+
+   The stream is advanced once per operation, so the same seed and the
+   same operation sequence replay the same faults bit for bit — the
+   property the resilience tests pin down. *)
+
+type kind = Torn_write | Truncation | Bit_flip | Transient
+
+let kind_name = function
+  | Torn_write -> "torn-write"
+  | Truncation -> "truncation"
+  | Bit_flip -> "bit-flip"
+  | Transient -> "transient"
+
+type event = { op : int; path : string; kind : kind; detail : string }
+
+type plan = {
+  torn_write_rate : float;
+  truncation_rate : float;
+  bit_flip_rate : float;
+  transient_rate : float;
+  max_transient_failures : int;
+  mutable state : int64; (* splitmix64 *)
+  mutable op : int;
+  mutable events : event list; (* newest first *)
+}
+
+let check_rate name r =
+  if not (r >= 0. && r <= 1.) then
+    invalid_arg (Printf.sprintf "Io_fault.plan: %s not in [0,1]" name)
+
+let plan ?(torn_write_rate = 0.) ?(truncation_rate = 0.) ?(bit_flip_rate = 0.)
+    ?(transient_rate = 0.) ?(max_transient_failures = 2) ~seed () =
+  check_rate "torn_write_rate" torn_write_rate;
+  check_rate "truncation_rate" truncation_rate;
+  check_rate "bit_flip_rate" bit_flip_rate;
+  check_rate "transient_rate" transient_rate;
+  if max_transient_failures < 1 then
+    invalid_arg "Io_fault.plan: max_transient_failures must be >= 1";
+  {
+    torn_write_rate;
+    truncation_rate;
+    bit_flip_rate;
+    transient_rate;
+    max_transient_failures;
+    state = Int64.logxor (Int64.of_int seed) 0x9E3779B97F4A7C15L;
+    op = 0;
+    events = [];
+  }
+
+let events p = List.rev p.events
+
+(* splitmix64 (Steele et al.): tiny, seedable, and good enough to decide
+   fault draws — crucially independent of the global [Random] state. *)
+let next_u64 p =
+  let z = Int64.add p.state 0x9E3779B97F4A7C15L in
+  p.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform draw in [0,1) from the top 53 bits. *)
+let next_unit p =
+  Int64.to_float (Int64.shift_right_logical (next_u64 p) 11) /. 9007199254740992.
+
+(* Uniform int in [0,n). *)
+let next_int p n =
+  if n <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 p) 1)
+                       (Int64.of_int n))
+
+(* At most one fault per operation; one draw decides which. *)
+let draw_fault p =
+  let r = next_unit p in
+  let t0 = p.torn_write_rate in
+  let t1 = t0 +. p.truncation_rate in
+  let t2 = t1 +. p.bit_flip_rate in
+  let t3 = t2 +. p.transient_rate in
+  if r < t0 then Some Torn_write
+  else if r < t1 then Some Truncation
+  else if r < t2 then Some Bit_flip
+  else if r < t3 then Some Transient
+  else None
+
+let record p path kind detail =
+  p.events <- { op = p.op; path; kind; detail } :: p.events
+
+(* Injected transient failure — internal, always caught by the retry
+   loops below. *)
+exception Transient_failure
+
+let max_retries = 5
+
+(* Bounded exponential backoff: 1 ms, 2 ms, 4 ms, ... capped at 16 ms.
+   Real enough to model the pattern, cheap enough for tests. *)
+let backoff attempt = Unix.sleepf (min 0.016 (0.001 *. (2. ** float attempt)))
+
+(* Run [f] retrying injected transient failures; [fails] is how many
+   attempts the plan decided must fail first. *)
+let with_transient_retries ~fails f =
+  let rec go attempt =
+    if attempt >= max_retries then
+      failwith "Io_fault: transient failure persisted past the retry bound";
+    match if attempt < fails then raise Transient_failure else f () with
+    | v -> v
+    | exception Transient_failure ->
+        backoff attempt;
+        go (attempt + 1)
+  in
+  go 0
+
+let mangle p path (data : string) = function
+  | None | Some Transient -> data
+  | Some Torn_write ->
+      (* Keep a strict prefix: somewhere in [0, len). *)
+      let keep = next_int p (String.length data) in
+      record p path Torn_write (Printf.sprintf "kept %d of %d bytes" keep
+                                  (String.length data));
+      String.sub data 0 keep
+  | Some Truncation ->
+      let drop = 1 + next_int p (min 64 (String.length data)) in
+      record p path Truncation (Printf.sprintf "dropped last %d bytes" drop);
+      String.sub data 0 (max 0 (String.length data - drop))
+  | Some Bit_flip ->
+      if String.length data = 0 then data
+      else begin
+        let byte = next_int p (String.length data) in
+        let bit = next_int p 8 in
+        record p path Bit_flip (Printf.sprintf "byte %d bit %d" byte bit);
+        let b = Bytes.of_string data in
+        Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+        Bytes.to_string b
+      end
+
+(* Number of injected consecutive failures for a transient fault. *)
+let transient_fails p path =
+  let fails = 1 + next_int p p.max_transient_failures in
+  record p path Transient (Printf.sprintf "%d injected failure(s)" fails);
+  fails
+
+let plain_write path data =
+  let oc = open_out_bin path in
+  (try output_string oc data
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let plain_read path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  data
+
+let write_file ?faults path data =
+  match faults with
+  | None -> plain_write path data
+  | Some p ->
+      p.op <- p.op + 1;
+      let fault = draw_fault p in
+      let fails =
+        match fault with Some Transient -> transient_fails p path | _ -> 0
+      in
+      let landed = mangle p path data fault in
+      with_transient_retries ~fails (fun () -> plain_write path landed)
+
+let read_file ?faults path =
+  match faults with
+  | None -> (
+      try Ok (plain_read path) with Sys_error m -> Error m)
+  | Some p ->
+      p.op <- p.op + 1;
+      let fails =
+        match draw_fault p with
+        (* Only transient faults make sense on the read side: the bytes
+           on disk are whatever the writes left there. *)
+        | Some Transient -> transient_fails p path
+        | Some _ | None -> 0
+      in
+      (try with_transient_retries ~fails (fun () -> Ok (plain_read path))
+       with Sys_error m | Failure m -> Error m)

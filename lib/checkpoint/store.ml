@@ -1,11 +1,41 @@
-(* Versioned checkpoint directory.
+(* Resilient versioned checkpoint directory.
 
-   One file per checkpointed iteration, written atomically (temp file +
-   rename) so a crash mid-write can never corrupt the latest good
-   checkpoint; optional rotation keeps the newest [keep_last] files, the
-   usual HPC practice of retaining several checkpoint versions. *)
+   One file per checkpointed iteration.  Three defenses stand between a
+   run and a bad restart:
 
-type t = { dir : string; keep_last : int option }
+   - verified atomic writes: the encoded file lands in a temp file, is
+     read back and CRC-checked, and only then renamed over the final
+     name — a torn or bit-flipped write is caught while the previous
+     checkpoint is still intact (bounded rewrite attempts);
+   - typed loads: [load] never raises on bad data; it returns a
+     [load_error] naming the failure so callers can fall back;
+   - multi-level retention: [retention] keeps the newest [keep_last]
+     checkpoints plus any older iteration divisible by [keep_every] —
+     the usual HPC ladder of dense recent + sparse ancient versions.
+
+   All I/O goes through {!Io_fault} so every one of these paths is
+   exercisable under deterministic fault injection. *)
+
+type retention = { keep_last : int option; keep_every : int option }
+
+let keep_all = { keep_last = None; keep_every = None }
+
+type t = {
+  dir : string;
+  retention : retention;
+  verify_writes : bool;
+  faults : Io_fault.plan option;
+}
+
+exception Write_failed of { path : string; attempts : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Write_failed { path; attempts; reason } ->
+        Some
+          (Printf.sprintf "Store.Write_failed(%s after %d attempts: %s)" path
+             attempts reason)
+    | _ -> None)
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -13,14 +43,18 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ?keep_last dir =
-  (match keep_last with
+let create ?(retention = keep_all) ?(verify_writes = true) ?faults dir =
+  (match retention.keep_last with
   | Some k when k < 1 -> invalid_arg "Store.create: keep_last must be >= 1"
   | _ -> ());
+  (match retention.keep_every with
+  | Some m when m < 1 -> invalid_arg "Store.create: keep_every must be >= 1"
+  | _ -> ());
   mkdir_p dir;
-  { dir; keep_last }
+  { dir; retention; verify_writes; faults }
 
 let dir t = t.dir
+let retention t = t.retention
 let basename iteration = Printf.sprintf "ckpt_%09d.scvd" iteration
 let path_of_iteration t iteration = Filename.concat t.dir (basename iteration)
 
@@ -39,45 +73,129 @@ let list_iterations t =
   |> List.filter_map iteration_of_basename
   |> List.sort compare
 
-let rotate t =
-  match t.keep_last with
+let remove_checkpoint t iteration =
+  let path = path_of_iteration t iteration in
+  if Sys.file_exists path then Sys.remove path;
+  if Sys.file_exists (path ^ ".aux") then Sys.remove (path ^ ".aux")
+
+(* Multi-level GC: the newest [keep_last] always survive; older ones
+   survive only on the sparse [keep_every] grid. *)
+let gc t =
+  match t.retention.keep_last with
   | None -> ()
   | Some k ->
       let iters = list_iterations t in
-      let excess = List.length iters - k in
-      if excess > 0 then
-        List.iteri
-          (fun i it ->
-            if i < excess then Sys.remove (path_of_iteration t it))
-          iters
+      let total = List.length iters in
+      List.iteri
+        (fun i it ->
+          let recent = i >= total - k in
+          let on_grid =
+            match t.retention.keep_every with
+            | None -> false
+            | Some m -> it mod m = 0
+          in
+          if not (recent || on_grid) then remove_checkpoint t it)
+        iters
 
-(* Atomic save; also writes the sidecar auxiliary file when any section
-   is pruned.  Returns the checkpoint path. *)
+(* ------------------------------------------------------------------ *)
+(* Load                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type load_error = Missing | Io_error of string | Corrupt of string
+
+let describe_error = function
+  | Missing -> "missing checkpoint file"
+  | Io_error m -> "I/O error: " ^ m
+  | Corrupt m -> "corrupt checkpoint: " ^ m
+
+let load t iteration =
+  let path = path_of_iteration t iteration in
+  if not (Sys.file_exists path) then Error Missing
+  else
+    match Io_fault.read_file ?faults:t.faults path with
+    | Error m -> Error (Io_error m)
+    | Ok data -> (
+        match Ckpt_format.decode data with
+        | file -> Ok file
+        | exception Ckpt_format.Corrupt m -> Error (Corrupt m))
+
+let load_exn t iteration =
+  match load t iteration with
+  | Ok file -> file
+  | Error e -> raise (Ckpt_format.Corrupt (describe_error e))
+
+(* ------------------------------------------------------------------ *)
+(* Save                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let max_write_attempts = 3
+
+(* Verification reads the temp file back without fault injection: the
+   question is what actually landed on the disk. *)
+let landed_ok tmp data =
+  match Io_fault.read_file tmp with
+  | Error m -> Error m
+  | Ok landed ->
+      if String.length landed <> String.length data then
+        Error
+          (Printf.sprintf "short write: %d of %d bytes" (String.length landed)
+             (String.length data))
+      else (
+        match Ckpt_format.decode landed with
+        | _ -> Ok ()
+        | exception Ckpt_format.Corrupt m -> Error m)
+
 let save ?(sidecar_aux = false) t (file : Ckpt_format.file) =
   let path = path_of_iteration t file.iteration in
   let tmp = path ^ ".tmp" in
-  Ckpt_format.write_file tmp file;
+  let data = Ckpt_format.encode file in
+  let rec attempt n =
+    Io_fault.write_file ?faults:t.faults tmp data;
+    if not t.verify_writes then ()
+    else
+      match landed_ok tmp data with
+      | Ok () -> ()
+      | Error reason ->
+          if n >= max_write_attempts then begin
+            Sys.remove tmp;
+            raise (Write_failed { path; attempts = n; reason })
+          end
+          else attempt (n + 1)
+  in
+  attempt 1;
   Sys.rename tmp path;
   if sidecar_aux then begin
     let aux = Ckpt_format.aux_file_string file in
     if aux <> "" then begin
       let aux_path = path ^ ".aux" in
       let tmp_aux = aux_path ^ ".tmp" in
-      let oc = open_out tmp_aux in
-      output_string oc aux;
-      close_out oc;
+      Io_fault.write_file tmp_aux aux;
       Sys.rename tmp_aux aux_path
     end
   end;
-  rotate t;
+  gc t;
   path
 
-let load t iteration = Ckpt_format.read_file (path_of_iteration t iteration)
+(* ------------------------------------------------------------------ *)
+(* Latest / fallback walk                                              *)
+(* ------------------------------------------------------------------ *)
 
 let latest t =
   match List.rev (list_iterations t) with
   | [] -> None
-  | it :: _ -> Some (load t it)
+  | it :: _ -> Some (load_exn t it)
+
+(* Walk backward from the newest checkpoint, skipping invalid ones —
+   the store half of graceful-degradation restart. *)
+let latest_valid t =
+  let rec go skipped = function
+    | [] -> (None, List.rev skipped)
+    | it :: older -> (
+        match load t it with
+        | Ok file -> (Some (it, file), List.rev skipped)
+        | Error e -> go ((it, e) :: skipped) older)
+  in
+  go [] (List.rev (list_iterations t))
 
 (* Bytes on disk of one checkpoint (incl. its sidecar, if present). *)
 let disk_bytes t iteration =

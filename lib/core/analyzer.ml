@@ -19,6 +19,16 @@
 
 open Scvad_ad
 
+(* What one analysis pass produced.  [impact_reports] is non-empty only
+   in reverse mode — the one mode whose backward sweep yields magnitudes
+   as well as masks. *)
+type analysis = {
+  float_reports : Criticality.var_report list;
+  impact_reports : Impact.var_impact list;
+  int_reports : Criticality.var_report list;
+  tape_nodes : int;
+}
+
 let int_reports (module A : App.S) (int_vars : Variable.int_t list) =
   let taint_masks =
     match A.int_taint_masks with Some f -> f () | None -> []
@@ -88,7 +98,12 @@ let reverse_analysis (module A : App.S) ~at_iter ~niter =
           ~spe:v.Variable.spe magnitude)
       snapshots
   in
-  (vars, impacts, int_reports (module A) (I.int_vars state), Tape.length tape)
+  {
+    float_reports = vars;
+    impact_reports = impacts;
+    int_reports = int_reports (module A) (I.int_vars state);
+    tape_nodes = Tape.length tape;
+  }
 
 let activity_analysis (module A : App.S) ~at_iter ~niter =
   let tape = Dep_tape.create ~capacity:(1 lsl 16) () in
@@ -114,7 +129,12 @@ let activity_analysis (module A : App.S) ~at_iter ~niter =
           ~spe:v.Variable.spe ~kind:Criticality.Float_var mask)
       snapshots
   in
-  (vars, int_reports (module A) (I.int_vars state), Dep_tape.length tape)
+  {
+    float_reports = vars;
+    impact_reports = [];
+    int_reports = int_reports (module A) (I.int_vars state);
+    tape_nodes = Dep_tape.length tape;
+  }
 
 let forward_analysis (module A : App.S) ~at_iter ~niter =
   let module I = A.Make (Dual.Scalar) in
@@ -147,20 +167,21 @@ let forward_analysis (module A : App.S) ~at_iter ~niter =
         Criticality.of_mask ~name ~shape ~spe ~kind:Criticality.Float_var mask)
       shapes
   in
-  (vars, int_reports (module A) (I.int_vars skeleton), 0)
+  {
+    float_reports = vars;
+    impact_reports = [];
+    int_reports = int_reports (module A) (I.int_vars skeleton);
+    tape_nodes = 0;
+  }
 
 let analyze ?(mode = Criticality.Reverse_gradient) ?(at_iter = 0) ?niter
     (module A : App.S) =
   let niter = Option.value niter ~default:A.analysis_niter in
   if at_iter < 0 || at_iter >= niter then
     invalid_arg "Analyzer.analyze: need 0 <= at_iter < niter";
-  let fvars, ivars, tape_nodes =
+  let a =
     match mode with
-    | Criticality.Reverse_gradient ->
-        let vars, _impacts, ivars, nodes =
-          reverse_analysis (module A) ~at_iter ~niter
-        in
-        (vars, ivars, nodes)
+    | Criticality.Reverse_gradient -> reverse_analysis (module A) ~at_iter ~niter
     | Criticality.Activity_dependence ->
         activity_analysis (module A) ~at_iter ~niter
     | Criticality.Forward_probe -> forward_analysis (module A) ~at_iter ~niter
@@ -170,8 +191,8 @@ let analyze ?(mode = Criticality.Reverse_gradient) ?(at_iter = 0) ?niter
     at_iteration = at_iter;
     analyzed_until = niter;
     mode;
-    tape_nodes;
-    vars = fvars @ ivars;
+    tape_nodes = a.tape_nodes;
+    vars = a.float_reports @ a.int_reports;
   }
 
 (* Union over several checkpoint boundaries: an element is critical if
@@ -214,6 +235,6 @@ let analyze_impact ?(at_iter = 0) ?niter (module A : App.S) =
   let niter = Option.value niter ~default:A.analysis_niter in
   if at_iter < 0 || at_iter >= niter then
     invalid_arg "Analyzer.analyze_impact: need 0 <= at_iter < niter";
-  let _, impacts, _, _ = reverse_analysis (module A) ~at_iter ~niter in
+  let a = reverse_analysis (module A) ~at_iter ~niter in
   { Impact.app = A.name; at_iteration = at_iter; analyzed_until = niter;
-    vars = impacts }
+    vars = a.impact_reports }

@@ -11,6 +11,31 @@
     for [By_taint] variables, from the application's integer-dependence
     analysis hook. *)
 
+(** What one analysis pass produced, by kind.  [impact_reports] is
+    non-empty only for {!reverse_analysis} — the one mode whose
+    backward sweep yields derivative magnitudes as well as masks. *)
+type analysis = {
+  float_reports : Criticality.var_report list;
+  impact_reports : Impact.var_impact list;
+  int_reports : Criticality.var_report list;
+  tape_nodes : int;
+}
+
+(** One taped run + one backward sweep for all elements (what Enzyme
+    does for the paper's authors); also yields impact magnitudes. *)
+val reverse_analysis :
+  (module App.S) -> at_iter:int -> niter:int -> analysis
+
+(** Edges-only dependence reachability — cheaper, but a zero-valued
+    partial still counts as a dependence. *)
+val activity_analysis :
+  (module App.S) -> at_iter:int -> niter:int -> analysis
+
+(** One dual-number re-run per element — the naive reading of "inspect
+    every single element"; oracle and ablation. *)
+val forward_analysis :
+  (module App.S) -> at_iter:int -> niter:int -> analysis
+
 (** [analyze ?mode ?at_iter ?niter app].
 
     - [mode] (default [Reverse_gradient]): one taped run + one backward

@@ -4,16 +4,28 @@
    1. golden run — uninterrupted, records the reference output;
    2. protected run — checkpoints every [every] iterations (pruned by a
       criticality report, or full) and crashes at a chosen iteration;
-   3. restart — restores the latest checkpoint, poisons uncritical
-      elements, finishes the run;
+   3. restart — restores a checkpoint, poisons uncritical elements,
+      finishes the run.  [restart_from_latest] trusts the newest file;
+      [restart_resilient] walks backward over corrupt or unreadable
+      checkpoints to the newest valid one (or all the way to a cold
+      start), replaying the extra iterations;
    4. verification — the restarted output must equal the golden output
       bit for bit (floats are compared exactly: a correct restart replays
       the identical instruction stream on the critical data).           *)
 
 open Scvad_ad
 module Failure_ = Scvad_checkpoint.Failure
+module Store = Scvad_checkpoint.Store
 
 type run_result = { output : float; iterations : int }
+
+(* Every experiment answers the same question — did the perturbed run
+   reproduce the golden output bit for bit? *)
+type experiment_result = {
+  golden : run_result;
+  restarted : run_result;
+  verified : bool;
+}
 
 let golden_run ?niter (module A : App.S) =
   let niter = Option.value niter ~default:A.default_niter in
@@ -37,7 +49,7 @@ let run_with_checkpoints ?report ?crash_at ?niter ~store ~every
       Pruned.snapshot ?report ~app:A.name ~iteration
         ~float_vars:(I.float_vars state) ~int_vars:(I.int_vars state) ()
     in
-    ignore (Scvad_checkpoint.Store.save ~sidecar_aux:true store file)
+    ignore (Store.save ~sidecar_aux:true store file)
   in
   let rec go from =
     if from >= niter then { output = I.output state; iterations = niter }
@@ -61,7 +73,7 @@ let restart_from_latest ?(poison = Failure_.Nan) ?niter ~store
     (module A : App.S) =
   let niter = Option.value niter ~default:A.default_niter in
   let module I = A.Make (Float_scalar) in
-  match Scvad_checkpoint.Store.latest store with
+  match Store.latest store with
   | None -> invalid_arg "Harness.restart_from_latest: empty store"
   | Some file ->
       let state = I.create () in
@@ -72,6 +84,57 @@ let restart_from_latest ?(poison = Failure_.Nan) ?niter ~store
       I.run state ~from ~until:niter;
       { output = I.output state; iterations = niter }
 
+(* ------------------------------------------------------------------ *)
+(* Graceful-degradation restart                                        *)
+(* ------------------------------------------------------------------ *)
+
+type restart_report = {
+  run : run_result;
+  restored_iteration : int; (* 0 = cold restart, no checkpoint survived *)
+  skipped : (int * string) list; (* rejected checkpoints, newest first *)
+}
+
+(* Walk backward from the newest checkpoint, skipping any that fail the
+   CRC, decode, or restore; restore the newest valid one and replay the
+   extra iterations.  If no checkpoint survives, restart cold from
+   iteration 0 — strictly slower, never wrong. *)
+let restart_resilient ?(poison = Failure_.Nan) ?niter ~store
+    (module A : App.S) =
+  let niter = Option.value niter ~default:A.default_niter in
+  let module I = A.Make (Float_scalar) in
+  let rec walk skipped = function
+    | [] ->
+        let state = I.create () in
+        I.run state ~from:0 ~until:niter;
+        {
+          run = { output = I.output state; iterations = niter };
+          restored_iteration = 0;
+          skipped = List.rev skipped;
+        }
+    | it :: older -> (
+        match Store.load store it with
+        | Error e -> walk ((it, Store.describe_error e) :: skipped) older
+        | Ok file -> (
+            (* A decodable checkpoint can still fail to restore (wrong
+               app, shape drift): a fresh state per attempt keeps a
+               failed restore from tainting the next candidate. *)
+            let state = I.create () in
+            match
+              Pruned.restore ~poison file ~float_vars:(I.float_vars state)
+                ~int_vars:(I.int_vars state)
+            with
+            | from ->
+                I.run state ~from ~until:niter;
+                {
+                  run = { output = I.output state; iterations = niter };
+                  restored_iteration = from;
+                  skipped = List.rev skipped;
+                }
+            | exception Invalid_argument reason ->
+                walk ((it, "restore failed: " ^ reason) :: skipped) older))
+  in
+  walk [] (List.rev (Store.list_iterations store))
+
 (* Bitwise output equality — the verification oracle. *)
 let verified ~golden ~restarted =
   Int64.bits_of_float golden.output = Int64.bits_of_float restarted.output
@@ -79,8 +142,8 @@ let verified ~golden ~restarted =
 (* Silent-data-corruption probe: flip one bit of one element of one
    checkpoint variable at a checkpoint boundary and finish the run.
    The paper's criterion in executable form: an uncritical element must
-   leave the output bit-identical; a critical one generally must not.
-   Returns (golden, corrupted run, output changed?). *)
+   leave the output bit-identical ([verified]); a critical one
+   generally must not. *)
 let corrupt_element_experiment ?niter ?(bit = 30) ~at_iter ~var ~element
     (module A : App.S) =
   let niter = Option.value niter ~default:A.default_niter in
@@ -106,13 +169,13 @@ let corrupt_element_experiment ?niter ?(bit = 30) ~at_iter ~var ~element
   v.Variable.set element 0 (Failure_.flip_bit (v.Variable.get element 0) ~bit);
   I.run state ~from:at_iter ~until:niter;
   let corrupted = { output = I.output state; iterations = niter } in
-  (golden, corrupted, not (verified ~golden ~restarted:corrupted))
+  { golden; restarted = corrupted; verified = verified ~golden ~restarted:corrupted }
 
 (* The full §IV-C experiment: golden run, crash halfway, pruned restart,
-   verify.  Returns (golden, restarted, verified). *)
+   verify. *)
 let crash_restart_experiment ?report ?(poison = Failure_.Nan) ?niter ~store
     ~every ~crash_at (module A : App.S) =
-  Scvad_checkpoint.Store.wipe store;
+  Store.wipe store;
   let golden = golden_run ?niter (module A : App.S) in
   (match
      run_with_checkpoints ?report ~crash_at ?niter ~store ~every
@@ -121,4 +184,38 @@ let crash_restart_experiment ?report ?(poison = Failure_.Nan) ?niter ~store
   | _ -> failwith "crash_restart_experiment: the run did not crash"
   | exception Failure_.Crash _ -> ());
   let restarted = restart_from_latest ~poison ?niter ~store (module A : App.S) in
-  (golden, restarted, verified ~golden ~restarted)
+  { golden; restarted; verified = verified ~golden ~restarted }
+
+(* ------------------------------------------------------------------ *)
+(* Resilient experiment                                                *)
+(* ------------------------------------------------------------------ *)
+
+type resilient_result = {
+  experiment : experiment_result;
+  restored_iteration : int;
+  skipped : (int * string) list;
+}
+
+(* §IV-C under storage failures: crash as above, let [sabotage] damage
+   the store (or rely on the store's own fault plan), then restart
+   resiliently.  The experiment must still verify bit for bit — from an
+   older checkpoint, or from a cold start if nothing survived. *)
+let crash_restart_resilient_experiment ?report ?(poison = Failure_.Nan) ?niter
+    ?(sabotage = fun (_ : Store.t) -> ()) ~store ~every ~crash_at
+    (module A : App.S) =
+  Store.wipe store;
+  let golden = golden_run ?niter (module A : App.S) in
+  (match
+     run_with_checkpoints ?report ~crash_at ?niter ~store ~every
+       (module A : App.S)
+   with
+  | _ -> failwith "crash_restart_resilient_experiment: the run did not crash"
+  | exception Failure_.Crash _ -> ());
+  sabotage store;
+  let r = restart_resilient ~poison ?niter ~store (module A : App.S) in
+  {
+    experiment =
+      { golden; restarted = r.run; verified = verified ~golden ~restarted:r.run };
+    restored_iteration = r.restored_iteration;
+    skipped = r.skipped;
+  }

@@ -1,11 +1,20 @@
 (** End-to-end checkpoint/restart harness (paper §IV-C).
 
     Golden run → protected run with periodic (optionally pruned)
-    checkpoints and an injected crash → restart from the newest
-    checkpoint with poisoned uncritical elements → bitwise output
-    verification. *)
+    checkpoints and an injected crash → restart (trusting the newest
+    checkpoint, or resiliently walking back over corrupt ones) with
+    poisoned uncritical elements → bitwise output verification. *)
 
 type run_result = { output : float; iterations : int }
+
+(** Outcome of one perturbation experiment: the reference run, the
+    perturbed (restarted or corrupted) run, and whether their outputs
+    match bit for bit. *)
+type experiment_result = {
+  golden : run_result;
+  restarted : run_result;
+  verified : bool;
+}
 
 (** Uninterrupted reference run. *)
 val golden_run : ?niter:int -> (module App.S) -> run_result
@@ -23,13 +32,37 @@ val run_with_checkpoints :
   (module App.S) ->
   run_result
 
-(** Restore the newest checkpoint and finish the run. *)
+(** Restore the newest checkpoint and finish the run.  Trusts the file:
+    raises {!Scvad_checkpoint.Ckpt_format.Corrupt} if it is invalid
+    (use {!restart_resilient} to degrade gracefully) and
+    [Invalid_argument] on an empty store. *)
 val restart_from_latest :
   ?poison:Scvad_checkpoint.Failure.poison ->
   ?niter:int ->
   store:Scvad_checkpoint.Store.t ->
   (module App.S) ->
   run_result
+
+(** What a resilient restart did: the finished run, the iteration it
+    resumed from ([0] = cold restart, nothing survived), and every
+    rejected checkpoint with the reason, newest first. *)
+type restart_report = {
+  run : run_result;
+  restored_iteration : int;
+  skipped : (int * string) list;
+}
+
+(** Graceful-degradation restart: walk backward from the newest
+    checkpoint, skipping any that fail CRC, decode, or restore; restore
+    the newest valid one and replay the extra iterations.  Falls back
+    to a cold start from iteration 0 when no checkpoint survives —
+    strictly slower, never wrong. *)
+val restart_resilient :
+  ?poison:Scvad_checkpoint.Failure.poison ->
+  ?niter:int ->
+  store:Scvad_checkpoint.Store.t ->
+  (module App.S) ->
+  restart_report
 
 (** Bitwise equality of outputs — the verification oracle (a correct
     restart replays the identical instruction stream on the critical
@@ -38,9 +71,9 @@ val verified : golden:run_result -> restarted:run_result -> bool
 
 (** Silent-data-corruption probe: flip bit [bit] (default 30) of one
     element of variable [var] at boundary [at_iter] and finish the run.
-    Returns (golden, corrupted run, output changed?).  The executable
-    form of the paper's criterion: corrupting an uncritical element
-    must not change the output. *)
+    The executable form of the paper's criterion: corrupting an
+    uncritical element must keep [verified = true]; corrupting a
+    critical one generally must not. *)
 val corrupt_element_experiment :
   ?niter:int ->
   ?bit:int ->
@@ -48,10 +81,10 @@ val corrupt_element_experiment :
   var:string ->
   element:int ->
   (module App.S) ->
-  run_result * run_result * bool
+  experiment_result
 
-(** The full §IV-C experiment; returns (golden, restarted, verified).
-    Wipes [store] first; fails if the run did not crash. *)
+(** The full §IV-C experiment.  Wipes [store] first; fails if the run
+    did not crash. *)
 val crash_restart_experiment :
   ?report:Criticality.report ->
   ?poison:Scvad_checkpoint.Failure.poison ->
@@ -60,4 +93,27 @@ val crash_restart_experiment :
   every:int ->
   crash_at:int ->
   (module App.S) ->
-  run_result * run_result * bool
+  experiment_result
+
+(** {!crash_restart_experiment} outcome plus what the resilient restart
+    had to do to get there. *)
+type resilient_result = {
+  experiment : experiment_result;
+  restored_iteration : int;
+  skipped : (int * string) list;
+}
+
+(** The §IV-C experiment under storage failures: crash as usual, let
+    [sabotage] damage the store (on top of the store's own fault plan,
+    if any), then {!restart_resilient} and verify.  Wipes [store]
+    first; fails if the run did not crash. *)
+val crash_restart_resilient_experiment :
+  ?report:Criticality.report ->
+  ?poison:Scvad_checkpoint.Failure.poison ->
+  ?niter:int ->
+  ?sabotage:(Scvad_checkpoint.Store.t -> unit) ->
+  store:Scvad_checkpoint.Store.t ->
+  every:int ->
+  crash_at:int ->
+  (module App.S) ->
+  resilient_result

@@ -281,14 +281,19 @@ let test_store_save_load_latest () =
       (match Store.latest store with
       | Some f -> Alcotest.(check int) "latest" 12 f.Ckpt_format.iteration
       | None -> Alcotest.fail "latest missing");
-      let f5 = Store.load store 5 in
-      Alcotest.(check int) "load 5" 5 f5.Ckpt_format.iteration;
+      (match Store.load store 5 with
+      | Ok f5 -> Alcotest.(check int) "load 5" 5 f5.Ckpt_format.iteration
+      | Error e -> Alcotest.failf "load 5: %s" (Store.describe_error e));
       Alcotest.(check bool) "disk bytes positive" true
         (Store.disk_bytes store 5 > 0))
 
 let test_store_rotation () =
   with_tmp_dir (fun dir ->
-      let store = Store.create ~keep_last:2 dir in
+      let store =
+        Store.create
+          ~retention:{ Store.keep_last = Some 2; keep_every = None }
+          dir
+      in
       List.iter (fun i -> ignore (Store.save store (trivial_file i))) [ 1; 2; 3; 4 ];
       Alcotest.(check (list int)) "rotated" [ 3; 4 ]
         (Store.list_iterations store))

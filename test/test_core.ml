@@ -135,22 +135,23 @@ let with_store f =
 
 let test_crash_restart_full () =
   with_store (fun store ->
-      let golden, restarted, ok =
+      let e =
         Harness.crash_restart_experiment ~store ~every:2 ~crash_at:4
           (module Toy)
       in
-      Alcotest.(check bool) "verified" true ok;
-      Alcotest.(check int) "iterations" golden.Harness.iterations
-        restarted.Harness.iterations)
+      Alcotest.(check bool) "verified" true e.Harness.verified;
+      Alcotest.(check int) "iterations" e.Harness.golden.Harness.iterations
+        e.Harness.restarted.Harness.iterations)
 
 let test_crash_restart_pruned_poisoned () =
   with_store (fun store ->
       let report = Analyzer.analyze (module Toy) in
-      let _, _, ok =
+      let e =
         Harness.crash_restart_experiment ~report ~store ~every:2 ~crash_at:5
           ~poison:Scvad_checkpoint.Failure.Nan (module Toy)
       in
-      Alcotest.(check bool) "verified with NaN-poisoned uncritical" true ok)
+      Alcotest.(check bool) "verified with NaN-poisoned uncritical" true
+        e.Harness.verified)
 
 let test_pruned_restore_poisons_uncritical () =
   let module I = Toy.Make (Float_scalar) in

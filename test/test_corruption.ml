@@ -31,27 +31,27 @@ let cases =
 let test_uncritical_corruption_harmless () =
   List.iter
     (fun ((module A : App.S), var, uncritical, _, niter) ->
-      let _, _, changed =
+      let e =
         Harness.corrupt_element_experiment ~niter ~at_iter:1 ~var
           ~element:uncritical (module A)
       in
       Alcotest.(check bool)
         (Printf.sprintf "%s(%s)[%d] uncritical corruption harmless" A.name var
            uncritical)
-        false changed)
+        true e.Harness.verified)
     cases
 
 let test_critical_corruption_detected () =
   List.iter
     (fun ((module A : App.S), var, _, critical, niter) ->
-      let _, _, changed =
+      let e =
         Harness.corrupt_element_experiment ~niter ~bit:51 ~at_iter:1 ~var
           ~element:critical (module A)
       in
       Alcotest.(check bool)
         (Printf.sprintf "%s(%s)[%d] critical corruption changes output" A.name
            var critical)
-        true changed)
+        false e.Harness.verified)
     cases
 
 (* Every element the analysis calls uncritical is corruption-immune:
@@ -62,13 +62,13 @@ let test_cg_all_uncritical_immune () =
   Array.iteri
     (fun e critical ->
       if not critical then begin
-        let _, _, changed =
+        let r =
           Harness.corrupt_element_experiment ~niter:4 ~bit:51 ~at_iter:1
             ~var:"x" ~element:e (module Npb.Cg.App)
         in
         Alcotest.(check bool)
           (Printf.sprintf "x[%d] immune" e)
-          false changed
+          true r.Harness.verified
       end)
     mask
 
@@ -88,11 +88,12 @@ let test_bt_sampled_uncritical_immune () =
   List.iter
     (fun k ->
       let e = List.nth uncritical (k * n / 10) in
-      let _, _, changed =
+      let r =
         Harness.corrupt_element_experiment ~niter:4 ~bit:51 ~at_iter:2 ~var:"u"
           ~element:e (module Npb.Bt.App)
       in
-      Alcotest.(check bool) (Printf.sprintf "u[%d] immune" e) false changed)
+      Alcotest.(check bool) (Printf.sprintf "u[%d] immune" e) true
+        r.Harness.verified)
     [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
 
 let suites =

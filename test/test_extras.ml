@@ -141,11 +141,11 @@ let prop_crash_anywhere_verifies =
     (fun (every, crash_at) ->
       QCheck.assume (crash_at >= every);
       with_store (fun store ->
-          let _, _, ok =
+          let e =
             Harness.crash_restart_experiment ~report:(Lazy.force cg_report)
               ~store ~every ~crash_at ~niter:6 (module Scvad_npb.Cg.App)
           in
-          ok))
+          e.Harness.verified))
 
 let suites =
   [ ( "extras.interval",

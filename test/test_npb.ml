@@ -228,16 +228,17 @@ let with_store f =
 let crash_restart ?niter (module A : App.S) ~every ~crash_at () =
   with_store (fun store ->
       let report = report_of (module A) in
-      let golden, restarted, ok =
+      let e =
         Harness.crash_restart_experiment ~report ~store ~every ~crash_at
           ?niter
           ~poison:Scvad_checkpoint.Failure.Nan (module A)
       in
       Alcotest.(check bool)
         (Printf.sprintf "%s verified after pruned+poisoned restart" A.name)
-        true ok;
-      Alcotest.(check int) "same iteration count" golden.Harness.iterations
-        restarted.Harness.iterations)
+        true e.Harness.verified;
+      Alcotest.(check int) "same iteration count"
+        e.Harness.golden.Harness.iterations
+        e.Harness.restarted.Harness.iterations)
 
 let test_crash_restart_bt () =
   crash_restart (module Npb.Bt.App) ~niter:6 ~every:2 ~crash_at:5 ()
@@ -266,13 +267,13 @@ let test_crash_restart_is () =
 (* Full (unpruned) checkpoints must also roundtrip. *)
 let test_crash_restart_full_checkpoint_bt () =
   with_store (fun store ->
-      let golden, restarted, ok =
+      let e =
         Harness.crash_restart_experiment ~store ~every:2 ~crash_at:5 ~niter:6
           (module Npb.Bt.App)
       in
-      ignore restarted;
-      Alcotest.(check bool) "bt full-checkpoint restart verified" true ok;
-      Alcotest.(check int) "iterations" 6 golden.Harness.iterations)
+      Alcotest.(check bool) "bt full-checkpoint restart verified" true
+        e.Harness.verified;
+      Alcotest.(check int) "iterations" 6 e.Harness.golden.Harness.iterations)
 
 (* ------------------------------------------------------------------ *)
 (* Registry / Table I                                                  *)
