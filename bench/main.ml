@@ -9,12 +9,117 @@
    modes, pruned vs full checkpoint writes, region-codec granularity,
    AD recording overhead).
 
-   Run with: dune exec bench/main.exe                                  *)
+   Run with: dune exec bench/main.exe -- [--json] [--verbose] [--jobs N]
+
+   Flags:
+     --json       additionally write machine-readable results to
+                  BENCH_<date>.json (per-group name, time, tape nodes,
+                  jobs used) so the perf trajectory is recorded
+     --verbose    print per-analysis timing lines to stderr
+     --jobs N     domain-pool width for the parallel-suite group
+                  (default: the hardware's recommended domain count)    *)
 
 open Bechamel
 module Crit = Scvad_core.Criticality
 
 let say fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Flags and the JSON results ledger                                   *)
+(* ------------------------------------------------------------------ *)
+
+let json_out = ref false
+let verbose = ref false
+let jobs = ref (Scvad_par.Pool.default_jobs ())
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json_out := true;
+        parse rest
+    | "--verbose" :: rest ->
+        verbose := true;
+        parse rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            jobs := j;
+            parse rest
+        | Some _ | None ->
+            prerr_endline "bench: --jobs expects a positive integer";
+            exit 2)
+    | arg :: _ ->
+        Printf.eprintf
+          "bench: unknown argument %s (known: --json --verbose --jobs N)\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* Every measurement lands here; [--json] serializes the ledger. *)
+type entry = {
+  e_group : string;
+  e_name : string;
+  e_metric : string; (* "ns/run" or "s" *)
+  e_value : float;
+  e_tape_nodes : int option;
+  e_jobs : int option;
+}
+
+let entries : entry list ref = ref []
+
+let record ?tape_nodes ?jobs:ejobs ~group ~name ~metric value =
+  entries :=
+    { e_group = group; e_name = name; e_metric = metric; e_value = value;
+      e_tape_nodes = tape_nodes; e_jobs = ejobs }
+    :: !entries
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json () =
+  let tm = Unix.localtime (Unix.time ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+  in
+  let path = Printf.sprintf "BENCH_%s.json" date in
+  let oc = open_out path in
+  let field_opt name = function
+    | None -> ""
+    | Some v -> Printf.sprintf ", \"%s\": %d" name v
+  in
+  Printf.fprintf oc
+    "{\n  \"date\": \"%s\",\n  \"jobs\": %d,\n  \"hw_threads\": %d,\n\
+    \  \"results\": [\n"
+    date !jobs
+    (Domain.recommended_domain_count ());
+  let rows =
+    List.rev_map
+      (fun e ->
+        Printf.sprintf
+          "    {\"group\": \"%s\", \"name\": \"%s\", \"metric\": \"%s\", \
+           \"value\": %.6g%s%s}"
+          (json_escape e.e_group) (json_escape e.e_name)
+          (json_escape e.e_metric) e.e_value
+          (field_opt "tape_nodes" e.e_tape_nodes)
+          (field_opt "jobs" e.e_jobs))
+      !entries
+  in
+  output_string oc (String.concat ",\n" rows);
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  say "wrote %s (%d results)\n" path (List.length !entries)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 1: regenerate the paper's rows and series                     *)
@@ -28,8 +133,12 @@ let report_of (module A : Scvad_core.App.S) =
   | None ->
       let t0 = Unix.gettimeofday () in
       let r = Scvad_core.Analyzer.analyze (module A) in
-      Printf.eprintf "[bench] analysis %s: %.2fs (%d tape nodes)\n%!" A.name
-        (Unix.gettimeofday () -. t0) r.Crit.tape_nodes;
+      let dt = Unix.gettimeofday () -. t0 in
+      if !verbose then
+        Printf.eprintf "[bench] analysis %s: %.2fs (%d tape nodes)\n%!" A.name
+          dt r.Crit.tape_nodes;
+      record ~tape_nodes:r.Crit.tape_nodes ~jobs:1 ~group:"analysis"
+        ~name:A.name ~metric:"s" dt;
       Hashtbl.add reports A.name r;
       r
 
@@ -223,7 +332,7 @@ let bench_ad_overhead =
     fun () -> Sys.opaque_identity (I.run st ~from:0 ~until:1)
   in
   let taped_step () =
-    let tape = Scvad_ad.Tape.create ~capacity:(1 lsl 20) () in
+    let tape = Scvad_ad.Tape.create ~capacity_hint:(1 lsl 20) () in
     let module RS = Scvad_ad.Reverse.Scalar_of (struct
       let tape = tape
     end) in
@@ -309,6 +418,116 @@ let bench_store_writes =
       (Staged.stage (fun () ->
            Sys.opaque_identity (Scvad_checkpoint.Store.save unverified file))) ]
 
+(* Tape hot path: the seed's monolithic grow-by-doubling tape, kept
+   here as the baseline the chunked tape replaced.  Push/backward
+   throughput of the two layouts is compared head to head. *)
+module Seed_tape = struct
+  type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t = {
+    mutable n : int;
+    mutable lhs : i32;
+    mutable rhs : i32;
+    mutable dlhs : f64;
+    mutable drhs : f64;
+  }
+
+  let alloc_i32 n : i32 = Bigarray.(Array1.create int32 c_layout n)
+  let alloc_f64 n : f64 = Bigarray.(Array1.create float64 c_layout n)
+
+  let create ?(capacity = 1024) () =
+    let capacity = Stdlib.max capacity 16 in
+    { n = 0; lhs = alloc_i32 capacity; rhs = alloc_i32 capacity;
+      dlhs = alloc_f64 capacity; drhs = alloc_f64 capacity }
+
+  let capacity t = Bigarray.Array1.dim t.lhs
+
+  let grow t =
+    let old = capacity t in
+    let cap = old * 2 in
+    let lhs = alloc_i32 cap and rhs = alloc_i32 cap in
+    let dlhs = alloc_f64 cap and drhs = alloc_f64 cap in
+    Bigarray.Array1.(blit t.lhs (sub lhs 0 old));
+    Bigarray.Array1.(blit t.rhs (sub rhs 0 old));
+    Bigarray.Array1.(blit t.dlhs (sub dlhs 0 old));
+    Bigarray.Array1.(blit t.drhs (sub drhs 0 old));
+    t.lhs <- lhs;
+    t.rhs <- rhs;
+    t.dlhs <- dlhs;
+    t.drhs <- drhs
+
+  let push t l dl r dr =
+    if t.n = capacity t then grow t;
+    let i = t.n in
+    t.lhs.{i} <- Int32.of_int l;
+    t.rhs.{i} <- Int32.of_int r;
+    t.dlhs.{i} <- dl;
+    t.drhs.{i} <- dr;
+    t.n <- i + 1;
+    i
+
+  let backward t ~output =
+    let adj = alloc_f64 (output + 1) in
+    Bigarray.Array1.fill adj 0.;
+    adj.{output} <- 1.;
+    for i = output downto 0 do
+      let a = adj.{i} in
+      if a <> 0. then begin
+        let l = Int32.to_int t.lhs.{i} in
+        if l >= 0 then adj.{l} <- adj.{l} +. (a *. t.dlhs.{i});
+        let r = Int32.to_int t.rhs.{i} in
+        if r >= 0 then adj.{r} <- adj.{r} +. (a *. t.drhs.{i})
+      end
+    done;
+    adj
+end
+
+let tape_bench_nodes = 1 lsl 20
+
+(* A fan-in chain: node i depends on i-1 and a var, every adjoint
+   nonzero, so backward touches the whole tape. *)
+let bench_tape =
+  let fill_seed t =
+    let v = Seed_tape.push t (-1) 0. (-1) 0. in
+    let last = ref v in
+    for _ = 2 to tape_bench_nodes do
+      last := Seed_tape.push t !last 1. v 1.
+    done;
+    !last
+  in
+  let fill_chunked t =
+    let v = Scvad_ad.Tape.fresh_var t in
+    let last = ref v in
+    for _ = 2 to tape_bench_nodes do
+      last := Scvad_ad.Tape.push2 t !last 1. v 1.
+    done;
+    !last
+  in
+  let seed_full = Seed_tape.create ~capacity:16 () in
+  let seed_out = fill_seed seed_full in
+  let chunked_full = Scvad_ad.Tape.create ~capacity_hint:(1 lsl 14) () in
+  let chunked_out = fill_chunked chunked_full in
+  [ Test.make ~name:"tape/push_1M_seed_doubling"
+      (Staged.stage (fun () ->
+           let t = Seed_tape.create ~capacity:16 () in
+           Sys.opaque_identity (fill_seed t)));
+    Test.make ~name:"tape/push_1M_chunked_grow"
+      (Staged.stage (fun () ->
+           let t = Scvad_ad.Tape.create ~capacity_hint:(1 lsl 14) () in
+           Sys.opaque_identity (fill_chunked t)));
+    Test.make ~name:"tape/push_1M_chunked_hinted"
+      (Staged.stage (fun () ->
+           let t = Scvad_ad.Tape.create ~capacity_hint:tape_bench_nodes () in
+           Sys.opaque_identity (fill_chunked t)));
+    Test.make ~name:"tape/backward_1M_seed"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Seed_tape.backward seed_full ~output:seed_out)));
+    Test.make ~name:"tape/backward_1M_chunked"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Scvad_ad.Tape.backward chunked_full ~output:chunked_out))) ]
+
 (* Ablation: region-codec cost vs mask fragmentation. *)
 let bench_regions =
   List.map
@@ -345,10 +564,48 @@ let run_group ~quota name tests =
                 else if ns > 1e3 then ("us", ns /. 1e3)
                 else ("ns", ns)
               in
+              record ~group:name ~name:tname ~metric:"ns/run" ns;
               say "  %-40s %10.2f %s/run\n" tname v unit
           | Some _ | None -> say "  %-40s (no estimate)\n" tname)
         results)
     tests;
+  say "%!"
+
+(* Suite-level parallelism: wall time of the whole 8-benchmark analysis
+   pass, sequential vs on the domain pool.  Wall clock (not Bechamel):
+   one analysis pass is seconds long and the quantity of interest is
+   end-to-end latency. *)
+let bench_suite_parallel () =
+  let wall j =
+    let t0 = Unix.gettimeofday () in
+    let rs = Scvad_core.Analyzer.analyze_suite ~jobs:j Scvad_npb.Suite.all in
+    let dt = Unix.gettimeofday () -. t0 in
+    let nodes =
+      List.fold_left (fun acc (r : Crit.report) -> acc + r.Crit.tape_nodes) 0 rs
+    in
+    (dt, nodes)
+  in
+  say "-- Parallel scrutiny (8-benchmark suite wall time)\n";
+  let t1, nodes = wall 1 in
+  record ~tape_nodes:nodes ~jobs:1 ~group:"suite" ~name:"analyze_suite/jobs=1"
+    ~metric:"s" t1;
+  say "  %-40s %10.2f s\n" "analyze_suite jobs=1" t1;
+  if !jobs > 1 then begin
+    let tn, nodes_n = wall !jobs in
+    record ~tape_nodes:nodes_n ~jobs:!jobs ~group:"suite"
+      ~name:(Printf.sprintf "analyze_suite/jobs=%d" !jobs)
+      ~metric:"s" tn;
+    say "  %-40s %10.2f s   (%.2fx)\n"
+      (Printf.sprintf "analyze_suite jobs=%d" !jobs)
+      tn (t1 /. tn);
+    let hw = Domain.recommended_domain_count () in
+    if !jobs > hw then
+      say
+        "  (note: --jobs %d oversubscribes %d hardware thread%s; expect \
+         speedup only when jobs <= hardware threads)\n"
+        !jobs hw
+        (if hw = 1 then "" else "s")
+  end;
   say "%!"
 
 let () =
@@ -356,6 +613,7 @@ let () =
   say " scvad benchmark harness — paper tables, figures, timings\n";
   say "============================================================\n\n";
   phase1 ();
+  bench_suite_parallel ();
   say "TIMINGS (Bechamel, ns per run via OLS)\n";
   run_group ~quota:0.25 "Table I" [ bench_table1 ];
   run_group ~quota:0.5 "Table II (criticality analysis per benchmark)"
@@ -371,10 +629,13 @@ let () =
   run_group ~quota:0.5 "Ablation: analysis modes (reduced CG)" bench_modes;
   run_group ~quota:0.5 "Ablation: AD recording overhead (BT step)"
     bench_ad_overhead;
+  run_group ~quota:0.5 "Tape layout: seed (doubling) vs chunked slabs"
+    bench_tape;
   run_group ~quota:0.25 "Ablation: region codec granularity" bench_regions;
   run_group ~quota:0.5 "Extension: impact + mixed precision (CG)" bench_mixed;
   run_group ~quota:0.25 "Baseline: incremental checkpointing (BT)"
     bench_incremental;
   run_group ~quota:0.25 "Resilience: checkpoint write throughput (BT, pruned)"
     bench_store_writes;
+  if !json_out then write_json ();
   say "\ndone.\n"

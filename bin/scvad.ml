@@ -49,6 +49,17 @@ let at_iter_arg =
   let doc = "Checkpoint boundary the analysis models." in
   Arg.(value & opt int 0 & info [ "at-iter" ] ~docv:"T" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains the analysis fans out on (default: the hardware's recommended
+     domain count). $(docv) = 1 runs fully sequentially; the produced
+     reports are identical for every $(docv)."
+  in
+  Arg.(
+    value
+    & opt int (Scvad_par.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let dir_arg =
   let doc = "Checkpoint directory." in
   Arg.(value & opt string "_checkpoints" & info [ "dir"; "d" ] ~docv:"DIR" ~doc)
@@ -174,18 +185,20 @@ let print_report (r : Crit.report) =
     r.Crit.vars
 
 let analyze_cmd =
-  let run name mode at_iter niter =
+  let run name mode at_iter niter jobs =
     handle
       (Result.map
          (fun (module A : Scvad_core.App.S) ->
-           let r = Scvad_core.Analyzer.analyze ~mode ~at_iter ?niter (module A) in
+           let r =
+             Scvad_core.Analyzer.analyze ~mode ~at_iter ?niter ~jobs (module A)
+           in
            print_report r)
          (find_app name))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Scrutinize every element of the checkpoint variables with AD")
-    Term.(const run $ app_arg $ mode_arg $ at_iter_arg $ niter_arg)
+    Term.(const run $ app_arg $ mode_arg $ at_iter_arg $ niter_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* visualize                                                           *)
@@ -226,12 +239,12 @@ let visualize_one ~out (v : Crit.var_report) =
   print_newline ()
 
 let visualize_cmd =
-  let run name var out =
+  let run name var out jobs =
     handle
       (Result.map
          (fun (module A : Scvad_core.App.S) ->
            mkdir_p out;
-           let r = Scvad_core.Analyzer.analyze (module A) in
+           let r = Scvad_core.Analyzer.analyze ~jobs (module A) in
            let selected =
              match var with
              | None -> r.Crit.vars
@@ -243,7 +256,7 @@ let visualize_cmd =
   Cmd.v
     (Cmd.info "visualize"
        ~doc:"Render the critical/uncritical distribution of a variable")
-    Term.(const run $ app_arg $ var_arg $ out_arg)
+    Term.(const run $ app_arg $ var_arg $ out_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* checkpoint / restart                                                *)
@@ -423,13 +436,11 @@ let impact_cmd =
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run out =
+  let run out jobs =
     mkdir_p out;
     let reports =
-      List.map
-        (fun (module A : Scvad_core.App.S) ->
-          ((module A : Scvad_core.App.S), Scvad_core.Analyzer.analyze (module A)))
-        Scvad_npb.Suite.all
+      List.combine Scvad_npb.Suite.all
+        (Scvad_core.Analyzer.analyze_suite ~jobs Scvad_npb.Suite.all)
     in
     print_string (Scvad_core.Report.table1 Scvad_npb.Suite.all);
     print_newline ();
@@ -444,7 +455,7 @@ let report_cmd =
     0
   in
   Cmd.v (Cmd.info "report" ~doc:"Regenerate the paper's tables")
-    Term.(const run $ out_arg)
+    Term.(const run $ out_arg $ jobs_arg)
 
 let () =
   let doc = "scrutinize checkpoint variables with automatic differentiation" in

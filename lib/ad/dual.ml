@@ -22,15 +22,15 @@ module Scalar : Scalar.S with type t = t = struct
   let of_int i = const (float_of_int i)
   let to_float x = x.v
 
-  let ( +. ) a b = { v = a.v +. b.v; d = a.d +. b.d }
-  let ( -. ) a b = { v = a.v -. b.v; d = a.d -. b.d }
-  let ( *. ) a b = Stdlib.{ v = a.v *. b.v; d = (a.d *. b.v) +. (a.v *. b.d) }
+  let[@inline] ( +. ) a b = { v = a.v +. b.v; d = a.d +. b.d }
+  let[@inline] ( -. ) a b = { v = a.v -. b.v; d = a.d -. b.d }
+  let[@inline] ( *. ) a b = Stdlib.{ v = a.v *. b.v; d = (a.d *. b.v) +. (a.v *. b.d) }
 
-  let ( /. ) a b =
+  let[@inline] ( /. ) a b =
     let v = Stdlib.(a.v /. b.v) in
     { v; d = Stdlib.((a.d -. (v *. b.d)) /. b.v) }
 
-  let ( ~-. ) a = { v = -.a.v; d = -.a.d }
+  let[@inline] ( ~-. ) a = { v = -.a.v; d = -.a.d }
 
   let sqrt a =
     let v = Stdlib.sqrt a.v in

@@ -27,29 +27,29 @@ end) : Scalar.S with type t = t = struct
   let of_int i = const (float_of_int i)
   let to_float x = x.v
 
-  let node1 v p dp = { id = Tape.push1 tape p.id dp; v }
+  let[@inline] node1 v p dp = { id = Tape.push1 tape p.id dp; v }
 
-  let node2 v a da b db =
+  let[@inline] node2 v a da b db =
     { id = Tape.push2 tape a.id da b.id db; v }
 
-  let ( +. ) a b =
+  let[@inline] ( +. ) a b =
     let v = a.v +. b.v in
     if a.id < 0 && b.id < 0 then const v else node2 v a 1. b 1.
 
-  let ( -. ) a b =
+  let[@inline] ( -. ) a b =
     let v = a.v -. b.v in
     if a.id < 0 && b.id < 0 then const v else node2 v a 1. b (-1.)
 
-  let ( *. ) a b =
+  let[@inline] ( *. ) a b =
     let v = a.v *. b.v in
     if a.id < 0 && b.id < 0 then const v else node2 v a b.v b a.v
 
-  let ( /. ) a b =
+  let[@inline] ( /. ) a b =
     let v = a.v /. b.v in
     if a.id < 0 && b.id < 0 then const v
     else node2 v a Stdlib.(1. /. b.v) b Stdlib.(-.a.v /. (b.v *. b.v))
 
-  let ( ~-. ) a =
+  let[@inline] ( ~-. ) a =
     let v = -.a.v in
     if a.id < 0 then const v else node1 v a (-1.)
 

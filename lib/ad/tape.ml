@@ -3,62 +3,111 @@
    Each node has at most two parents.  Parents and local partial
    derivatives are stored in Bigarrays (24 bytes per node) so that tapes
    with tens of millions of nodes — e.g. an FT class-S inverse 3-D FFT —
-   fit comfortably in memory and put no pressure on the OCaml GC. *)
+   fit comfortably in memory and put no pressure on the OCaml GC.
+
+   Storage is chunked: a tape is a sequence of equally sized Bigarray
+   slabs.  Growing appends one slab (a few Bigarray allocations) instead
+   of reallocating and copying the whole tape — with tens of millions of
+   nodes the doubling-and-blitting scheme this replaces copied hundreds
+   of megabytes per analysis.  A [capacity_hint] sized from the
+   application (App.S.tape_nodes_hint) makes the common case a single
+   slab allocated exactly once.
+
+   Node ids are global indices; because every slab holds [slab_nodes]
+   nodes, id [i] lives in slab [i / slab_nodes] at offset
+   [i mod slab_nodes].  The hot paths (push, backward) use
+   [Array1.unsafe_get]/[unsafe_set]: push stays inside the current slab
+   by construction, and backward's indices are bounded by the one
+   up-front check on [output] plus the tape invariant that parents are
+   recorded before their children. *)
 
 type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
+type slab = {
+  lhs : i32; (* parent index, or -1 for none *)
+  rhs : i32;
+  dlhs : f64; (* d node / d lhs *)
+  drhs : f64;
+  base : int; (* global id of this slab's first node *)
+}
+
 type t = {
-  mutable n : int;
-  mutable lhs : i32; (* parent index, or -1 for none *)
-  mutable rhs : i32;
-  mutable dlhs : f64; (* d node / d lhs *)
-  mutable drhs : f64;
+  slab_nodes : int; (* nodes per slab; identical for every slab *)
+  mutable n : int; (* total nodes recorded *)
+  mutable slabs : slab array; (* allocated slabs, in id order *)
+  mutable nslabs : int; (* slabs allocated (>= slabs in use) *)
+  mutable cur : slab; (* slab containing node id [n] *)
+  mutable cur_end : int; (* [cur.base + slab_nodes] *)
 }
 
 let alloc_i32 n : i32 = Bigarray.(Array1.create int32 c_layout n)
 let alloc_f64 n : f64 = Bigarray.(Array1.create float64 c_layout n)
 
-let create ?(capacity = 1024) () =
-  let capacity = Stdlib.max capacity 16 in
+let alloc_slab ~nodes ~base =
   {
+    lhs = alloc_i32 nodes;
+    rhs = alloc_i32 nodes;
+    dlhs = alloc_f64 nodes;
+    drhs = alloc_f64 nodes;
+    base;
+  }
+
+let default_capacity_hint = 1 lsl 16
+
+let create ?(capacity_hint = default_capacity_hint) () =
+  let slab_nodes = Stdlib.max capacity_hint 16 in
+  let first = alloc_slab ~nodes:slab_nodes ~base:0 in
+  {
+    slab_nodes;
     n = 0;
-    lhs = alloc_i32 capacity;
-    rhs = alloc_i32 capacity;
-    dlhs = alloc_f64 capacity;
-    drhs = alloc_f64 capacity;
+    slabs = [| first |];
+    nslabs = 1;
+    cur = first;
+    cur_end = slab_nodes;
   }
 
 let length t = t.n
-let capacity t = Bigarray.Array1.dim t.lhs
+let slab_nodes t = t.slab_nodes
+let capacity t = t.nslabs * t.slab_nodes
 
 (* Bytes of tape storage currently reserved (diagnostic). *)
 let reserved_bytes t = capacity t * 24
 
-let clear t = t.n <- 0
+(* Storage is retained for reuse: subsequent pushes walk the already
+   allocated slabs again. *)
+let clear t =
+  t.n <- 0;
+  t.cur <- t.slabs.(0);
+  t.cur_end <- t.slab_nodes
 
+(* Make [cur] the slab containing node id [t.n]; never copies node data. *)
 let grow t =
-  let old = capacity t in
-  let cap = old * 2 in
-  let lhs = alloc_i32 cap and rhs = alloc_i32 cap in
-  let dlhs = alloc_f64 cap and drhs = alloc_f64 cap in
-  Bigarray.Array1.(blit t.lhs (sub lhs 0 old));
-  Bigarray.Array1.(blit t.rhs (sub rhs 0 old));
-  Bigarray.Array1.(blit t.dlhs (sub dlhs 0 old));
-  Bigarray.Array1.(blit t.drhs (sub drhs 0 old));
-  t.lhs <- lhs;
-  t.rhs <- rhs;
-  t.dlhs <- dlhs;
-  t.drhs <- drhs
+  let k = t.n / t.slab_nodes in
+  if k >= t.nslabs then begin
+    if t.nslabs = Array.length t.slabs then begin
+      (* Amortize: double the slab *directory* (cheap, shallow). *)
+      let bigger = Array.make (2 * t.nslabs) t.slabs.(0) in
+      Array.blit t.slabs 0 bigger 0 t.nslabs;
+      t.slabs <- bigger
+    end;
+    t.slabs.(t.nslabs) <-
+      alloc_slab ~nodes:t.slab_nodes ~base:(t.nslabs * t.slab_nodes);
+    t.nslabs <- t.nslabs + 1
+  end;
+  t.cur <- t.slabs.(k);
+  t.cur_end <- t.cur.base + t.slab_nodes
 
 (* Raw node append; returns the new node id. *)
 let push t l dl r dr =
-  if t.n = capacity t then grow t;
   let i = t.n in
-  t.lhs.{i} <- Int32.of_int l;
-  t.rhs.{i} <- Int32.of_int r;
-  t.dlhs.{i} <- dl;
-  t.drhs.{i} <- dr;
+  if i = t.cur_end then grow t;
+  let s = t.cur in
+  let j = i - s.base in
+  Bigarray.Array1.unsafe_set s.lhs j (Int32.of_int l);
+  Bigarray.Array1.unsafe_set s.rhs j (Int32.of_int r);
+  Bigarray.Array1.unsafe_set s.dlhs j dl;
+  Bigarray.Array1.unsafe_set s.drhs j dr;
   t.n <- i + 1;
   i
 
@@ -73,21 +122,39 @@ type adjoints = { adj : f64; upto : int }
 
 (* Reverse sweep from [output].  One pass computes d output / d node for
    every node at or below [output] — this is what lets the analysis
-   scrutinize every element of every checkpoint variable at once. *)
+   scrutinize every element of every checkpoint variable at once.
+
+   Safety of the unsafe accesses: [output < t.n] is checked once, node
+   offsets stay inside their slab by the uniform-slab-size layout, and a
+   parent id is always a node id recorded before its child, so
+   [l, r < i <= output < dim adj]. *)
 let backward t ~output =
   if output < 0 || output >= t.n then
     invalid_arg "Tape.backward: output is not a tape node";
   let adj = alloc_f64 (output + 1) in
   Bigarray.Array1.fill adj 0.;
-  adj.{output} <- 1.;
-  for i = output downto 0 do
-    let a = adj.{i} in
-    if a <> 0. then begin
-      let l = Int32.to_int t.lhs.{i} in
-      if l >= 0 then adj.{l} <- adj.{l} +. (a *. t.dlhs.{i});
-      let r = Int32.to_int t.rhs.{i} in
-      if r >= 0 then adj.{r} <- adj.{r} +. (a *. t.drhs.{i})
-    end
+  Bigarray.Array1.unsafe_set adj output 1.;
+  let sn = t.slab_nodes in
+  let k_hi = output / sn in
+  for k = k_hi downto 0 do
+    let s = Array.unsafe_get t.slabs k in
+    let lo = s.base in
+    let hi = if k = k_hi then output - lo else sn - 1 in
+    for j = hi downto 0 do
+      let a = Bigarray.Array1.unsafe_get adj (lo + j) in
+      if a <> 0. then begin
+        let l = Int32.to_int (Bigarray.Array1.unsafe_get s.lhs j) in
+        if l >= 0 then
+          Bigarray.Array1.unsafe_set adj l
+            (Bigarray.Array1.unsafe_get adj l
+            +. (a *. Bigarray.Array1.unsafe_get s.dlhs j));
+        let r = Int32.to_int (Bigarray.Array1.unsafe_get s.rhs j) in
+        if r >= 0 then
+          Bigarray.Array1.unsafe_set adj r
+            (Bigarray.Array1.unsafe_get adj r
+            +. (a *. Bigarray.Array1.unsafe_get s.drhs j))
+      end
+    done
   done;
   { adj; upto = output }
 

@@ -3,28 +3,35 @@
     The tape is an append-only record of the data-flow graph of a program
     execution: one node per arithmetic operation, each with at most two
     parent nodes and the local partial derivatives towards them.  Storage
-    is Bigarray-backed (24 bytes per node), so large kernels — tens of
-    millions of nodes — stay off the OCaml heap.
+    is Bigarray-backed (24 bytes per node) and chunked into equally sized
+    slabs, so large kernels — tens of millions of nodes — stay off the
+    OCaml heap and growth never copies recorded nodes.
 
     {!Reverse} provides the operator-overloading front end; most users
     never call [push1]/[push2] directly. *)
 
 type t
 
-(** [create ?capacity ()] makes an empty tape.  The tape grows by doubling
-    as nodes are pushed. *)
-val create : ?capacity:int -> unit -> t
+(** [create ?capacity_hint ()] makes an empty tape whose slabs each hold
+    [max capacity_hint 16] nodes.  A hint covering the whole recording
+    (e.g. [App.S.tape_nodes_hint]) means exactly one slab is ever
+    allocated; an underestimate only adds further slabs of the same size
+    — recorded nodes are never copied. *)
+val create : ?capacity_hint:int -> unit -> t
 
 (** Number of nodes currently recorded. *)
 val length : t -> int
 
-(** Currently reserved node slots. *)
+(** Nodes per storage slab (the granularity of growth). *)
+val slab_nodes : t -> int
+
+(** Currently reserved node slots (a multiple of [slab_nodes t]). *)
 val capacity : t -> int
 
 (** Bytes of off-heap storage currently reserved (diagnostic). *)
 val reserved_bytes : t -> int
 
-(** Drop all nodes (storage is retained for reuse). *)
+(** Drop all nodes (slab storage is retained for reuse). *)
 val clear : t -> unit
 
 (** New independent (input) variable node; returns its id. *)

@@ -15,9 +15,25 @@
      reading of "inspect every single element", kept as an oracle and an
      ablation;
    - [Activity_dependence]: edges-only dependence reachability, cheaper
-     but ignoring zero-valued partials. *)
+     but ignoring zero-valued partials.
+
+   Parallelism: every analysis accepts an optional {!Scvad_par.Pool} and
+   fans its independent parts across it — per-variable mask/region
+   extraction (reverse, activity), per-element dual probes (forward),
+   and {!analyze_suite} runs whole per-benchmark analyses side by side.
+   Each analysis owns its tape and each forward probe its state, so
+   nothing is shared and results are bitwise identical at any [jobs]. *)
 
 open Scvad_ad
+module Pool = Scvad_par.Pool
+
+(* Fan [f] over [xs]: on the pool when one is given, sequentially
+   otherwise.  Pool.map preserves input order, so both paths agree. *)
+let fan pool f xs =
+  match pool with None -> List.map f xs | Some p -> Pool.map p f xs
+
+let fan_init pool n f =
+  match pool with None -> Array.init n f | Some p -> Pool.init p n f
 
 (* What one analysis pass produced.  [impact_reports] is non-empty only
    in reverse mode — the one mode whose backward sweep yields magnitudes
@@ -52,9 +68,10 @@ let int_reports (module A : App.S) (int_vars : Variable.int_t list) =
 
 (* One reverse pass yields both products: criticality masks (derivative
    is zero / nonzero) and impact magnitudes (|derivative| per element),
-   which power the mixed-precision extension. *)
-let reverse_analysis (module A : App.S) ~at_iter ~niter =
-  let tape = Tape.create ~capacity:(1 lsl 16) () in
+   which power the mixed-precision extension.  Extraction — one scan of
+   every snapshot plus the region encoding — fans out per variable. *)
+let reverse_analysis ?pool (module A : App.S) ~at_iter ~niter =
+  let tape = Tape.create ~capacity_hint:A.tape_nodes_hint () in
   let module RS = Reverse.Scalar_of (struct
     let tape = tape
   end) in
@@ -69,43 +86,26 @@ let reverse_analysis (module A : App.S) ~at_iter ~niter =
   in
   I.run state ~from:at_iter ~until:niter;
   let g = Reverse.backward tape (I.output state) in
-  let vars =
-    List.map
+  let per_var =
+    fan pool
       (fun ((v : RS.t Variable.t), snapshot) ->
-        let mask =
-          Variable.element_mask_of_snapshot v snapshot (fun x ->
-              Reverse.grad g x <> 0.)
+        let mask, magnitudes =
+          Variable.mask_and_magnitudes_of_snapshot v snapshot (Reverse.grad g)
         in
-        Criticality.of_mask ~name:v.Variable.name ~shape:v.Variable.shape
-          ~spe:v.Variable.spe ~kind:Criticality.Float_var mask)
-      snapshots
-  in
-  let impacts =
-    List.map
-      (fun ((v : RS.t Variable.t), snapshot) ->
-        let n = Variable.elements v in
-        let magnitude =
-          Array.init n (fun e ->
-              let acc = ref 0. in
-              for k = 0 to v.Variable.spe - 1 do
-                acc :=
-                  Float.max !acc
-                    (Float.abs (Reverse.grad g snapshot.((e * v.Variable.spe) + k)))
-              done;
-              !acc)
-        in
-        Impact.of_magnitudes ~name:v.Variable.name ~shape:v.Variable.shape
-          ~spe:v.Variable.spe magnitude)
+        ( Criticality.of_mask ~name:v.Variable.name ~shape:v.Variable.shape
+            ~spe:v.Variable.spe ~kind:Criticality.Float_var mask,
+          Impact.of_magnitudes ~name:v.Variable.name ~shape:v.Variable.shape
+            ~spe:v.Variable.spe magnitudes ))
       snapshots
   in
   {
-    float_reports = vars;
-    impact_reports = impacts;
+    float_reports = List.map fst per_var;
+    impact_reports = List.map snd per_var;
     int_reports = int_reports (module A) (I.int_vars state);
     tape_nodes = Tape.length tape;
   }
 
-let activity_analysis (module A : App.S) ~at_iter ~niter =
+let activity_analysis ?pool (module A : App.S) ~at_iter ~niter =
   let tape = Dep_tape.create ~capacity:(1 lsl 16) () in
   let module AS = Activity.Scalar_of (struct
     let tape = tape
@@ -120,7 +120,7 @@ let activity_analysis (module A : App.S) ~at_iter ~niter =
   I.run state ~from:at_iter ~until:niter;
   let r = Activity.backward tape (I.output state) in
   let vars =
-    List.map
+    fan pool
       (fun ((v : AS.t Variable.t), snapshot) ->
         let mask =
           Variable.element_mask_of_snapshot v snapshot (Activity.active r)
@@ -136,7 +136,7 @@ let activity_analysis (module A : App.S) ~at_iter ~niter =
     tape_nodes = Dep_tape.length tape;
   }
 
-let forward_analysis (module A : App.S) ~at_iter ~niter =
+let forward_analysis ?pool (module A : App.S) ~at_iter ~niter =
   let module I = A.Make (Dual.Scalar) in
   (* Structure discovery run (no seeding). *)
   let skeleton = I.create () in
@@ -147,7 +147,8 @@ let forward_analysis (module A : App.S) ~at_iter ~niter =
         (v.Variable.name, v.Variable.shape, v.Variable.spe))
       (I.float_vars skeleton)
   in
-  (* One full re-run per scrutinized element. *)
+  (* One full re-run per scrutinized element; every probe owns its
+     state, so the element loop shards freely across the pool. *)
   let probe vindex e =
     let state = I.create () in
     I.run state ~from:0 ~until:at_iter;
@@ -162,7 +163,7 @@ let forward_analysis (module A : App.S) ~at_iter ~niter =
     List.mapi
       (fun vindex (name, shape, spe) ->
         let mask =
-          Array.init (Scvad_nd.Shape.size shape) (fun e -> probe vindex e)
+          fan_init pool (Scvad_nd.Shape.size shape) (fun e -> probe vindex e)
         in
         Criticality.of_mask ~name ~shape ~spe ~kind:Criticality.Float_var mask)
       shapes
@@ -174,17 +175,19 @@ let forward_analysis (module A : App.S) ~at_iter ~niter =
     tape_nodes = 0;
   }
 
-let analyze ?(mode = Criticality.Reverse_gradient) ?(at_iter = 0) ?niter
-    (module A : App.S) =
+let analyze_with ?(mode = Criticality.Reverse_gradient) ?(at_iter = 0) ?niter
+    ?pool (module A : App.S) =
   let niter = Option.value niter ~default:A.analysis_niter in
   if at_iter < 0 || at_iter >= niter then
     invalid_arg "Analyzer.analyze: need 0 <= at_iter < niter";
   let a =
     match mode with
-    | Criticality.Reverse_gradient -> reverse_analysis (module A) ~at_iter ~niter
+    | Criticality.Reverse_gradient ->
+        reverse_analysis ?pool (module A) ~at_iter ~niter
     | Criticality.Activity_dependence ->
-        activity_analysis (module A) ~at_iter ~niter
-    | Criticality.Forward_probe -> forward_analysis (module A) ~at_iter ~niter
+        activity_analysis ?pool (module A) ~at_iter ~niter
+    | Criticality.Forward_probe ->
+        forward_analysis ?pool (module A) ~at_iter ~niter
   in
   {
     Criticality.app = A.name;
@@ -195,17 +198,42 @@ let analyze ?(mode = Criticality.Reverse_gradient) ?(at_iter = 0) ?niter
     vars = a.float_reports @ a.int_reports;
   }
 
+let analyze ?mode ?at_iter ?niter ?(jobs = 1) (module A : App.S) =
+  if jobs < 1 then invalid_arg "Analyzer.analyze: jobs must be >= 1";
+  if jobs = 1 then analyze_with ?mode ?at_iter ?niter (module A)
+  else
+    Pool.with_pool ~jobs (fun pool ->
+        analyze_with ?mode ?at_iter ?niter ~pool (module A))
+
+(* Suite-level parallelism: each benchmark's analysis builds its own
+   tape and state, so the eight analyses share nothing and run whole on
+   separate domains.  The same pool also serves the per-analysis
+   fan-outs: a nested Pool.map from inside a worker degrades to the
+   sequential path, so the pool never deadlocks on itself. *)
+let analyze_suite ?mode ?at_iter ?niter ?jobs apps =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  if jobs < 1 then invalid_arg "Analyzer.analyze_suite: jobs must be >= 1";
+  if jobs = 1 then
+    List.map (fun app -> analyze_with ?mode ?at_iter ?niter app) apps
+  else
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map pool
+          (fun app -> analyze_with ?mode ?at_iter ?niter ~pool app)
+          apps)
+
 (* Union over several checkpoint boundaries: an element is critical if
    SOME checkpoint needs it.  This is the right notion for a checkpoint
    policy that prunes with one mask at every interval (cf. IS, whose
    key_array matters mid-run while bucket_ptrs matters just before the
    final verification). *)
-let analyze_boundaries ?mode ~boundaries ?niter (module A : App.S) =
+let analyze_boundaries ?mode ~boundaries ?niter ?jobs (module A : App.S) =
   match boundaries with
   | [] -> invalid_arg "Analyzer.analyze_boundaries: no boundaries"
   | first :: _ ->
       let reports =
-        List.map (fun at_iter -> analyze ?mode ~at_iter ?niter (module A)) boundaries
+        List.map
+          (fun at_iter -> analyze ?mode ~at_iter ?niter ?jobs (module A))
+          boundaries
       in
       let union_var (a : Criticality.var_report) (b : Criticality.var_report) =
         Criticality.of_mask ~name:a.Criticality.name ~shape:a.Criticality.shape

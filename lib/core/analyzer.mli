@@ -9,7 +9,15 @@
 
     Integer variables are resolved from their declared criticality or,
     for [By_taint] variables, from the application's integer-dependence
-    analysis hook. *)
+    analysis hook.
+
+    Every analysis can fan its independent parts out over a
+    {!Scvad_par.Pool}: per-variable mask/region extraction (reverse and
+    activity modes), per-element dual-number probes (forward mode), and
+    whole per-benchmark analyses ({!analyze_suite}).  Nothing is shared
+    between the fanned-out parts — each analysis owns its tape, each
+    probe its state — so results are bitwise identical for any job
+    count. *)
 
 (** What one analysis pass produced, by kind.  [impact_reports] is
     non-empty only for {!reverse_analysis} — the one mode whose
@@ -22,21 +30,24 @@ type analysis = {
 }
 
 (** One taped run + one backward sweep for all elements (what Enzyme
-    does for the paper's authors); also yields impact magnitudes. *)
+    does for the paper's authors); also yields impact magnitudes.  The
+    tape is sized from [App.S.tape_nodes_hint], so the common case
+    allocates its storage exactly once. *)
 val reverse_analysis :
-  (module App.S) -> at_iter:int -> niter:int -> analysis
+  ?pool:Scvad_par.Pool.t -> (module App.S) -> at_iter:int -> niter:int -> analysis
 
 (** Edges-only dependence reachability — cheaper, but a zero-valued
     partial still counts as a dependence. *)
 val activity_analysis :
-  (module App.S) -> at_iter:int -> niter:int -> analysis
+  ?pool:Scvad_par.Pool.t -> (module App.S) -> at_iter:int -> niter:int -> analysis
 
 (** One dual-number re-run per element — the naive reading of "inspect
-    every single element"; oracle and ablation. *)
+    every single element"; oracle and ablation.  The element loop
+    shards across the pool (each probe owns its state). *)
 val forward_analysis :
-  (module App.S) -> at_iter:int -> niter:int -> analysis
+  ?pool:Scvad_par.Pool.t -> (module App.S) -> at_iter:int -> niter:int -> analysis
 
-(** [analyze ?mode ?at_iter ?niter app].
+(** [analyze ?mode ?at_iter ?niter ?jobs app].
 
     - [mode] (default [Reverse_gradient]): one taped run + one backward
       sweep for all elements.  [Forward_probe] re-runs the application
@@ -47,6 +58,9 @@ val forward_analysis :
     - [at_iter] (default 0): the checkpoint boundary.
     - [niter] (default the app's [analysis_niter]): end of the analyzed
       window.  Must satisfy [0 <= at_iter < niter].
+    - [jobs] (default 1): width of the transient domain pool the
+      analysis fans out on; 1 means fully sequential.  The produced
+      report is identical for every [jobs].
 
     A window shorter than the true remaining run is conservative for
     elements that the unanalyzed iterations would overwrite, and all
@@ -57,8 +71,24 @@ val analyze :
   ?mode:Criticality.mode ->
   ?at_iter:int ->
   ?niter:int ->
+  ?jobs:int ->
   (module App.S) ->
   Criticality.report
+
+(** [analyze_suite ?mode ?at_iter ?niter ?jobs apps] analyzes every
+    benchmark of [apps] and returns the reports in input order.  Each
+    analysis builds its own tape and state, so whole analyses run in
+    parallel on a pool of [jobs] domains (default
+    [Scvad_par.Pool.default_jobs ()], i.e. the hardware's recommended
+    domain count); the same pool serves the per-analysis fan-outs.
+    Reports are bitwise identical for every [jobs]. *)
+val analyze_suite :
+  ?mode:Criticality.mode ->
+  ?at_iter:int ->
+  ?niter:int ->
+  ?jobs:int ->
+  (module App.S) list ->
+  Criticality.report list
 
 (** Union over several checkpoint boundaries: an element is critical if
     {e some} checkpoint needs it — the right mask for a policy that
@@ -68,6 +98,7 @@ val analyze_boundaries :
   ?mode:Criticality.mode ->
   boundaries:int list ->
   ?niter:int ->
+  ?jobs:int ->
   (module App.S) ->
   Criticality.report
 

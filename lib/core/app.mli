@@ -45,6 +45,13 @@ module type S = sig
       so this is small — what keeps reverse tapes affordable). *)
   val analysis_niter : int
 
+  (** Expected reverse-tape size (nodes) of one [analysis_niter]-window
+      recording; the analyzer passes it as the tape's [capacity_hint] so
+      the common case allocates exactly one slab.  A slight overestimate
+      of the measured node count is ideal; an underestimate only costs
+      extra slab allocations, never a copy. *)
+  val tape_nodes_hint : int
+
   module Make (S : Scvad_ad.Scalar.S) : INSTANCE with type scalar = S.t
 
   (** Mechanized integer-dependence analysis (IS): returns criticality

@@ -38,7 +38,15 @@ type report = {
   vars : var_report list;
 }
 
-let find report name = List.find (fun v -> v.name = name) report.vars
+let find report name =
+  match List.find_opt (fun v -> v.name = name) report.vars with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Criticality.find: report for %S has no variable %S (it has: %s)"
+           report.app name
+           (String.concat ", " (List.map (fun v -> v.name) report.vars)))
 
 let find_opt report name =
   List.find_opt (fun v -> v.name = name) report.vars

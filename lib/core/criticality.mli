@@ -40,7 +40,8 @@ type report = {
   vars : var_report list;
 }
 
-(** Find a variable; raises [Not_found]. *)
+(** Find a variable; raises [Invalid_argument] naming the missing
+    variable and listing the report's variables. *)
 val find : report -> string -> var_report
 
 val find_opt : report -> string -> var_report option

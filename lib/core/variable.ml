@@ -72,6 +72,26 @@ let element_mask_of_snapshot v snapshot judge =
       let rec any k = k < v.spe && (judge snapshot.((e * v.spe) + k) || any (k + 1)) in
       any 0)
 
+(* Mask and per-element |derivative| magnitude in one scan of the
+   snapshot (reverse mode reads both from the same adjoints; scanning
+   once halves the gradient lookups).  An element's magnitude is the max
+   over its scalar slots; criticality is magnitude <> 0, which agrees
+   with judging each slot's derivative against 0 (NaN stays critical:
+   NaN <> 0.). *)
+let mask_and_magnitudes_of_snapshot v snapshot magnitude_of =
+  let n = elements v in
+  let mask = Array.make n false in
+  let magnitudes = Array.make n 0. in
+  for e = 0 to n - 1 do
+    let m = ref 0. in
+    for k = 0 to v.spe - 1 do
+      m := Float.max !m (Float.abs (magnitude_of snapshot.((e * v.spe) + k)))
+    done;
+    magnitudes.(e) <- !m;
+    mask.(e) <- !m <> 0.
+  done;
+  (mask, magnitudes)
+
 (* ------------------------------------------------------------------ *)
 (* Integer variables                                                   *)
 (* ------------------------------------------------------------------ *)

@@ -268,6 +268,7 @@ module App : Scvad_core.App.S = struct
   let description = "Conjugate Gradient, irregular memory access (class S)"
   let default_niter = Class_s.niter
   let analysis_niter = 1
+  let tape_nodes_hint = 4_500_000
   let int_taint_masks = None
 
   module Make (S : Scvad_ad.Scalar.S) = Make_generic (Class_s) (S)
@@ -288,6 +289,7 @@ module App_w : Scvad_core.App.S = struct
   let description = "Conjugate Gradient (class W, NA = 7000)"
   let default_niter = Class_w.niter
   let analysis_niter = 1
+  let tape_nodes_hint = 28_600_000
   let int_taint_masks = None
 
   module Make (S : Scvad_ad.Scalar.S) = Make_generic (Class_w) (S)
@@ -308,6 +310,7 @@ module Tiny_app : Scvad_core.App.S = struct
   let description = "Conjugate Gradient, reduced size for ablations"
   let default_niter = Tiny_config.niter
   let analysis_niter = 1
+  let tape_nodes_hint = 32_768
   let int_taint_masks = None
 
   module Make (S : Scvad_ad.Scalar.S) = Make_generic (Tiny_config) (S)

@@ -1,0 +1,140 @@
+(* Fixed-size domain pool on Domain + Mutex/Condition.
+
+   One mutex guards both the task queue and the per-batch completion
+   counters; workers drop it while running user code.  The submitting
+   domain participates: while its batch is outstanding it pops and runs
+   queued tasks itself, so [jobs] domains (workers + submitter) stay
+   busy and a pool of width 1 never context-switches at all.
+
+   Nested [map] calls from inside a worker run sequentially in that
+   worker (detected with a domain-local flag) — the fixed-size pool can
+   therefore never deadlock on its own tasks. *)
+
+type t = {
+  mu : Mutex.t;
+  work : Condition.t; (* signaled when the queue gains tasks or on close *)
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  jobs : int;
+  mutable workers : unit Domain.t list;
+}
+
+(* True inside a pool worker: nested maps must not re-enter the pool. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let default_jobs () = Domain.recommended_domain_count ()
+let jobs t = t.jobs
+
+let worker_loop pool () =
+  Domain.DLS.set in_worker true;
+  Mutex.lock pool.mu;
+  let rec loop () =
+    if not (Queue.is_empty pool.queue) then begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mu;
+      task ();
+      Mutex.lock pool.mu;
+      loop ()
+    end
+    else if pool.closed then Mutex.unlock pool.mu
+    else begin
+      Condition.wait pool.work pool.mu;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      mu = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      jobs;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mu;
+  if not was_closed then List.iter Domain.join t.workers
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* One outstanding [map] call: results slot-addressed by input index, so
+   ordering is deterministic no matter which domain ran what. *)
+type 'b batch = {
+  results : ('b, exn * Printexc.raw_backtrace) result option array;
+  mutable pending : int;
+  done_ : Condition.t; (* broadcast (under the pool mutex) at pending = 0 *)
+}
+
+let settle pool batch i outcome =
+  Mutex.lock pool.mu;
+  batch.results.(i) <- Some outcome;
+  batch.pending <- batch.pending - 1;
+  if batch.pending = 0 then Condition.broadcast batch.done_;
+  Mutex.unlock pool.mu
+
+let run_map pool f (xs : 'a array) =
+  let n = Array.length xs in
+  let batch = { results = Array.make n None; pending = n; done_ = Condition.create () } in
+  let task i () =
+    let outcome =
+      try Ok (f xs.(i))
+      with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    settle pool batch i outcome
+  in
+  Mutex.lock pool.mu;
+  if pool.closed then begin
+    Mutex.unlock pool.mu;
+    invalid_arg "Pool.map: pool is shut down"
+  end;
+  for i = 0 to n - 1 do
+    Queue.push (task i) pool.queue
+  done;
+  Condition.broadcast pool.work;
+  (* Participate until the batch settles. *)
+  while batch.pending > 0 do
+    if not (Queue.is_empty pool.queue) then begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mu;
+      task ();
+      Mutex.lock pool.mu
+    end
+    else Condition.wait batch.done_ pool.mu
+  done;
+  Mutex.unlock pool.mu;
+  (* First failure in input order wins; later slots stay settled. *)
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | None -> assert false)
+    batch.results
+
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+      if pool.jobs = 1 || Domain.DLS.get in_worker then List.map f xs
+      else Array.to_list (run_map pool f (Array.of_list xs))
+
+let init pool n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  if n = 0 then [||]
+  else if n = 1 || pool.jobs = 1 || Domain.DLS.get in_worker then
+    Array.init n f
+  else run_map pool f (Array.init n Fun.id)

@@ -1,0 +1,46 @@
+(** Fixed-size domain pool.
+
+    A pool owns [jobs - 1] worker domains (the submitting domain is the
+    remaining unit of parallelism: it blocks in {!map} while workers
+    drain the queue, so [jobs] bounds the number of domains the pool
+    ever keeps busy).  Built on plain [Domain] + [Mutex]/[Condition] —
+    no dependencies beyond the standard library.
+
+    The scrutiny engine threads one pool through every fan-out point
+    (per-benchmark analyses, forward-probe element shards, per-variable
+    mask extraction); nested {!map} calls issued from inside a worker
+    run sequentially in that worker, so arbitrary nesting is safe and
+    cannot deadlock the fixed-size pool. *)
+
+type t
+
+(** [create ~jobs] spawns the worker domains.  [jobs = 1] spawns none:
+    every {!map} then degenerates to [List.map].  Raises
+    [Invalid_argument] if [jobs < 1]. *)
+val create : jobs:int -> t
+
+(** Parallelism bound the pool was created with. *)
+val jobs : t -> int
+
+(** The default pool width: [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [map pool f xs] applies [f] to every element of [xs] on the pool and
+    returns the results {e in input order}, whatever order the workers
+    finished in.  [f] must therefore be safe to call from any domain.
+
+    If any application raised, the first exception in input-index order
+    is re-raised (with its original backtrace) after every task has
+    settled — no task of the batch is abandoned mid-flight. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Like {!map} over [0 .. n-1]; returns an array. *)
+val init : t -> int -> (int -> 'a) -> 'a array
+
+(** Shut the workers down and join them.  Idempotent.  Calling {!map}
+    afterwards raises [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f pool] and shuts the pool down on every
+    exit path. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

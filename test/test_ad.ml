@@ -132,7 +132,7 @@ let test_reverse_branching_on_primal () =
       close "branch taken by primal" 4. (Reverse.grad g x))
 
 let test_tape_growth () =
-  let tape = Tape.create ~capacity:16 () in
+  let tape = Tape.create ~capacity_hint:16 () in
   let module S = Reverse.Scalar_of (struct
     let tape = tape
   end) in
@@ -146,6 +146,72 @@ let test_tape_growth () =
   Alcotest.(check bool) "tape grew" true (Tape.length tape > 16);
   Tape.clear tape;
   Alcotest.(check int) "clear resets" 0 (Tape.length tape)
+
+(* Chunked storage: pushes landing exactly on slab edges must keep ids
+   continuous and never copy; capacity grows by whole slabs. *)
+let test_tape_slab_edges () =
+  let tape = Tape.create ~capacity_hint:16 () in
+  Alcotest.(check int) "slab size" 16 (Tape.slab_nodes tape);
+  Alcotest.(check int) "one slab reserved" 16 (Tape.capacity tape);
+  (* Fill slab 0 exactly. *)
+  let ids = Array.init 16 (fun _ -> Tape.fresh_var tape) in
+  Array.iteri
+    (fun i id -> Alcotest.(check int) "id dense in slab 0" i id)
+    ids;
+  Alcotest.(check int) "slab 0 full, not grown yet" 16 (Tape.capacity tape);
+  (* The 17th push crosses into slab 1. *)
+  let id16 = Tape.fresh_var tape in
+  Alcotest.(check int) "first id of slab 1" 16 id16;
+  Alcotest.(check int) "two slabs reserved" 32 (Tape.capacity tape);
+  (* Land a push exactly on the next edge too. *)
+  for i = 17 to 32 do
+    Alcotest.(check int) "ids continuous across edges" i (Tape.fresh_var tape)
+  done;
+  Alcotest.(check int) "three slabs reserved" 48 (Tape.capacity tape);
+  Alcotest.(check int) "length counts every slab" 33 (Tape.length tape)
+
+let test_tape_multi_slab_backward () =
+  (* A gradient with known closed form across many slabs: f = sum of
+     x^2 repeated m times, recorded on 16-node slabs.  Parents of the
+     first nodes of a slab live in earlier slabs, so the sweep exercises
+     cross-slab adjoint propagation. *)
+  let tape = Tape.create ~capacity_hint:16 () in
+  let module S = Reverse.Scalar_of (struct
+    let tape = tape
+  end) in
+  let x = Reverse.var tape 1.5 in
+  let m = 1000 in
+  let acc = ref S.zero in
+  for _ = 1 to m do
+    acc := S.(!acc +. (x *. x))
+  done;
+  Alcotest.(check bool) "spans many slabs" true
+    (Tape.length tape > 50 * Tape.slab_nodes tape);
+  let g = Reverse.backward tape !acc in
+  close "f" (float_of_int m *. 2.25) (Reverse.value !acc);
+  close "df/dx across slabs" (float_of_int m *. 3.) (Reverse.grad g x)
+
+let test_tape_clear_reuses_slabs () =
+  let tape = Tape.create ~capacity_hint:16 () in
+  for _ = 1 to 100 do
+    ignore (Tape.fresh_var tape)
+  done;
+  let reserved = Tape.capacity tape in
+  Tape.clear tape;
+  Alcotest.(check int) "clear resets length" 0 (Tape.length tape);
+  Alcotest.(check int) "clear keeps storage" reserved (Tape.capacity tape);
+  for _ = 1 to 100 do
+    ignore (Tape.fresh_var tape)
+  done;
+  Alcotest.(check int) "refill reuses slabs" reserved (Tape.capacity tape);
+  (* The refilled tape must still differentiate correctly. *)
+  let module S = Reverse.Scalar_of (struct
+    let tape = tape
+  end) in
+  let x = Reverse.var tape 3. in
+  let y = S.(x *. x) in
+  let g = Reverse.backward tape y in
+  close "gradient after clear+reuse" 6. (Reverse.grad g x)
 
 let test_tape_second_backward () =
   (* Two independent backward sweeps over the same tape. *)
@@ -492,6 +558,11 @@ let suites =
         Alcotest.test_case "branch on primal" `Quick
           test_reverse_branching_on_primal;
         Alcotest.test_case "tape growth + clear" `Quick test_tape_growth;
+        Alcotest.test_case "push at slab edges" `Quick test_tape_slab_edges;
+        Alcotest.test_case "backward over multi-slab tape" `Quick
+          test_tape_multi_slab_backward;
+        Alcotest.test_case "clear retains and reuses slabs" `Quick
+          test_tape_clear_reuses_slabs;
         Alcotest.test_case "two backward sweeps" `Quick
           test_tape_second_backward ] );
     ( "ad.dual",

@@ -1,0 +1,171 @@
+(* Tests for the domain pool and the parallel scrutiny engine:
+   ordering, exception propagation, nesting, and the acceptance
+   criterion that [analyze_suite ~jobs:4] is bit-identical to
+   [~jobs:1] on every NPB benchmark. *)
+
+module Pool = Scvad_par.Pool
+module Crit = Scvad_core.Criticality
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_pool4 f = Pool.with_pool ~jobs:4 f
+
+let test_map_ordering () =
+  with_pool4 (fun pool ->
+      let xs = List.init 500 Fun.id in
+      let got = Pool.map pool (fun x -> x * x) xs in
+      Alcotest.(check (list int)) "results in input order"
+        (List.map (fun x -> x * x) xs)
+        got)
+
+let test_map_jobs1_sequential () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (list int)) "jobs=1 degenerates to List.map"
+        [ 2; 4; 6 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_map_empty_and_singleton () =
+  with_pool4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool succ []);
+      Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map pool succ [ 7 ]))
+
+exception Boom of int
+
+let test_map_exception () =
+  with_pool4 (fun pool ->
+      let raised =
+        try
+          ignore
+            (Pool.map pool
+               (fun x -> if x mod 3 = 0 then raise (Boom x) else x)
+               (List.init 20 succ));
+          None
+        with Boom x -> Some x
+      in
+      (* First failure in input-index order: 3. *)
+      Alcotest.(check (option int)) "first exception wins" (Some 3) raised)
+
+let test_map_after_shutdown () =
+  let pool = Pool.create ~jobs:4 in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "map on closed pool"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool succ [ 1; 2 ]))
+
+let test_nested_map () =
+  with_pool4 (fun pool ->
+      let got =
+        Pool.map pool
+          (fun row -> Pool.map pool (fun x -> (10 * row) + x) [ 1; 2; 3 ])
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list (list int)))
+        "nested maps compute correctly"
+        [ [ 11; 12; 13 ]; [ 21; 22; 23 ]; [ 31; 32; 33 ]; [ 41; 42; 43 ] ]
+        got)
+
+let test_init () =
+  with_pool4 (fun pool ->
+      let got = Pool.init pool 100 (fun i -> i * 3) in
+      Alcotest.(check (array int)) "init slots" (Array.init 100 (fun i -> i * 3)) got)
+
+let test_map_actually_parallel () =
+  (* All four workers must be in flight at once for the rendezvous to
+     complete; a sequential pool would deadlock, so guard with a
+     generous timeout via a counter spin instead of a barrier wait. *)
+  with_pool4 (fun pool ->
+      let arrived = Atomic.make 0 in
+      let got =
+        Pool.map pool
+          (fun i ->
+            Atomic.incr arrived;
+            (* Wait (bounded) until at least 2 tasks overlap. *)
+            let spins = ref 0 in
+            while Atomic.get arrived < 2 && !spins < 100_000_000 do
+              incr spins
+            done;
+            i)
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list int)) "parallel rendezvous" [ 1; 2; 3; 4 ] got;
+      Alcotest.(check bool) "at least two tasks overlapped" true
+        (Atomic.get arrived >= 2))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: parallel suite analysis is bit-identical               *)
+(* ------------------------------------------------------------------ *)
+
+let check_var_report_equal app (a : Crit.var_report) (b : Crit.var_report) =
+  Alcotest.(check string)
+    (Printf.sprintf "%s: variable name" app)
+    a.Crit.name b.Crit.name;
+  Alcotest.(check (array bool))
+    (Printf.sprintf "%s/%s: mask" app a.Crit.name)
+    a.Crit.mask b.Crit.mask;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s/%s: regions" app a.Crit.name)
+    true
+    (a.Crit.regions = b.Crit.regions)
+
+let test_suite_determinism () =
+  let apps = Scvad_npb.Suite.all in
+  let seq = Scvad_core.Analyzer.analyze_suite ~jobs:1 apps in
+  let par = Scvad_core.Analyzer.analyze_suite ~jobs:4 apps in
+  List.iter2
+    (fun (s : Crit.report) (p : Crit.report) ->
+      Alcotest.(check string) "app order" s.Crit.app p.Crit.app;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: tape nodes" s.Crit.app)
+        s.Crit.tape_nodes p.Crit.tape_nodes;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: variable count" s.Crit.app)
+        (List.length s.Crit.vars)
+        (List.length p.Crit.vars);
+      List.iter2 (check_var_report_equal s.Crit.app) s.Crit.vars p.Crit.vars)
+    seq par
+
+let test_forward_probe_parallel_determinism () =
+  (* Forward probes shard per element; compare against sequential on the
+     reduced CG (full benchmarks are O(elements) runs in this mode). *)
+  let app = (module Scvad_npb.Cg.Tiny_app : Scvad_core.App.S) in
+  let seq =
+    Scvad_core.Analyzer.analyze ~mode:Crit.Forward_probe ~jobs:1 app
+  in
+  let par =
+    Scvad_core.Analyzer.analyze ~mode:Crit.Forward_probe ~jobs:4 app
+  in
+  List.iter2 (check_var_report_equal "cg-tiny") seq.Crit.vars par.Crit.vars
+
+let test_activity_parallel_determinism () =
+  let app = (module Scvad_npb.Cg.Tiny_app : Scvad_core.App.S) in
+  let seq =
+    Scvad_core.Analyzer.analyze ~mode:Crit.Activity_dependence ~jobs:1 app
+  in
+  let par =
+    Scvad_core.Analyzer.analyze ~mode:Crit.Activity_dependence ~jobs:4 app
+  in
+  List.iter2 (check_var_report_equal "cg-tiny") seq.Crit.vars par.Crit.vars
+
+let suites =
+  [ ( "par.pool",
+      [ Alcotest.test_case "map preserves input order" `Quick test_map_ordering;
+        Alcotest.test_case "jobs=1 sequential" `Quick test_map_jobs1_sequential;
+        Alcotest.test_case "empty and singleton" `Quick
+          test_map_empty_and_singleton;
+        Alcotest.test_case "first exception re-raised" `Quick
+          test_map_exception;
+        Alcotest.test_case "shutdown idempotent, map raises" `Quick
+          test_map_after_shutdown;
+        Alcotest.test_case "nested map" `Quick test_nested_map;
+        Alcotest.test_case "init" `Quick test_init;
+        Alcotest.test_case "tasks overlap" `Quick test_map_actually_parallel ] );
+    ( "par.determinism",
+      [ Alcotest.test_case "analyze_suite jobs=1 = jobs=4 (all NPB)" `Quick
+          test_suite_determinism;
+        Alcotest.test_case "forward probe jobs=1 = jobs=4 (cg-tiny)" `Quick
+          test_forward_probe_parallel_determinism;
+        Alcotest.test_case "activity jobs=1 = jobs=4 (cg-tiny)" `Quick
+          test_activity_parallel_determinism ] ) ]
