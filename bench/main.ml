@@ -103,7 +103,7 @@ let write_json () =
     "{\n  \"date\": \"%s\",\n  \"jobs\": %d,\n  \"hw_threads\": %d,\n\
     \  \"results\": [\n"
     date !jobs
-    (Domain.recommended_domain_count ());
+    (Scvad_par.Pool.hardware_threads ());
   let rows =
     List.rev_map
       (fun e ->
@@ -473,6 +473,8 @@ module Seed_tape = struct
     adj.{output} <- 1.;
     for i = output downto 0 do
       let a = adj.{i} in
+      (* lint: allow float-equality — exact-zero adjoint skip, replicated
+         from the seed tape so the layout ablation stays faithful *)
       if a <> 0. then begin
         let l = Int32.to_int t.lhs.{i} in
         if l >= 0 then adj.{l} <- adj.{l} +. (a *. t.dlhs.{i});
@@ -598,7 +600,7 @@ let bench_suite_parallel () =
     say "  %-40s %10.2f s   (%.2fx)\n"
       (Printf.sprintf "analyze_suite jobs=%d" !jobs)
       tn (t1 /. tn);
-    let hw = Domain.recommended_domain_count () in
+    let hw = Scvad_par.Pool.hardware_threads () in
     if !jobs > hw then
       say
         "  (note: --jobs %d oversubscribes %d hardware thread%s; expect \

@@ -1,0 +1,36 @@
+(* scvad_lint driver: static analysis over the repo's own sources.
+
+   Usage: lint [--format text|json] [PATH ...]
+
+   Paths default to the four source roots; directories are walked
+   recursively for .ml files.  Exit status: 0 when no error-severity
+   finding survives the allowlists and pragmas, 1 otherwise, 2 on
+   usage errors.  `dune build @lint` runs this over lib/ bin/ bench/
+   examples/. *)
+
+module Driver = Scvad_lint.Driver
+module Finding = Scvad_lint.Finding
+
+let () =
+  let format = ref "text" in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+        " report format (default text)" );
+    ]
+  in
+  let usage = "lint [--format text|json] [PATH ...]" in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let paths =
+    match List.rev !paths with
+    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | ps -> ps
+  in
+  let result = Driver.lint_paths paths in
+  print_string
+    (match !format with
+    | "json" -> Driver.render_json result
+    | _ -> Driver.render_text result);
+  if Driver.has_errors result then exit 1

@@ -51,9 +51,9 @@ let at_iter_arg =
 
 let jobs_arg =
   let doc =
-    "Domains the analysis fans out on (default: the hardware's recommended
-     domain count). $(docv) = 1 runs fully sequentially; the produced
-     reports are identical for every $(docv)."
+    "Domains the analysis fans out on (default: the recommended domain
+     count clamped to the container's CPU quota). $(docv) = 1 runs fully
+     sequentially; the produced reports are identical for every $(docv)."
   in
   Arg.(
     value

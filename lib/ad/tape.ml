@@ -142,6 +142,8 @@ let backward t ~output =
     let hi = if k = k_hi then output - lo else sn - 1 in
     for j = hi downto 0 do
       let a = Bigarray.Array1.unsafe_get adj (lo + j) in
+      (* lint: allow float-equality — exact-zero adjoint skip: a zero
+         contributes exactly nothing, so propagation is loss-free *)
       if a <> 0. then begin
         let l = Int32.to_int (Bigarray.Array1.unsafe_get s.lhs j) in
         if l >= 0 then

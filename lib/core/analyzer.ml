@@ -157,6 +157,8 @@ let forward_analysis ?pool (module A : App.S) ~at_iter ~niter =
       v.Variable.set e k (Dual.var (Dual.value (v.Variable.get e k)))
     done;
     I.run state ~from:at_iter ~until:niter;
+    (* lint: allow float-equality — exact-zero tangent is the paper's
+       criticality criterion (§III-A), not an approximate comparison *)
     Dual.tangent (I.output state) <> 0.
   in
   let vars =

@@ -79,8 +79,9 @@ val analyze :
     benchmark of [apps] and returns the reports in input order.  Each
     analysis builds its own tape and state, so whole analyses run in
     parallel on a pool of [jobs] domains (default
-    [Scvad_par.Pool.default_jobs ()], i.e. the hardware's recommended
-    domain count); the same pool serves the per-analysis fan-outs.
+    [Scvad_par.Pool.default_jobs ()] — the recommended domain count
+    clamped to the container's CPU quota); the same pool serves the
+    per-analysis fan-outs.
     Reports are bitwise identical for every [jobs]. *)
 val analyze_suite :
   ?mode:Criticality.mode ->

@@ -37,6 +37,8 @@ let find r name = List.find (fun v -> v.name = name) r.vars
 let find_opt r name = List.find_opt (fun v -> v.name = name) r.vars
 
 (* The zero-derivative criterion: impact generalizes criticality. *)
+(* lint: allow float-equality — exact-zero magnitude is the criticality
+   spec; a tolerance would misclassify tiny-but-real derivatives *)
 let to_criticality_mask v = Array.map (fun m -> m <> 0.) v.magnitude
 
 let max_magnitude v = Array.fold_left Float.max 0. v.magnitude
@@ -51,7 +53,7 @@ let percentile v ~p =
   let nz = Array.of_list (List.filter (fun m -> m > 0.) (Array.to_list v.magnitude)) in
   if Array.length nz = 0 then 0.
   else begin
-    Array.sort compare nz;
+    Array.sort Float.compare nz;
     let rank =
       int_of_float (Float.of_int (Array.length nz - 1) *. p /. 100.)
     in
@@ -63,6 +65,8 @@ type clazz = Uncritical | Low_impact | High_impact
 let classify v ~threshold =
   Array.map
     (fun m ->
+      (* lint: allow float-equality — class boundary IS the exact-zero
+         criticality criterion; magnitudes are |d|, never -0. *)
       if m = 0. then Uncritical
       else if m < threshold then Low_impact
       else High_impact)

@@ -88,6 +88,8 @@ let mask_and_magnitudes_of_snapshot v snapshot magnitude_of =
       m := Float.max !m (Float.abs (magnitude_of snapshot.((e * v.spe) + k)))
     done;
     magnitudes.(e) <- !m;
+    (* lint: allow float-equality — the paper's exact derivative-is-zero
+       criterion; NaN magnitudes stay critical because NaN <> 0. *)
     mask.(e) <- !m <> 0.
   done;
   (mask, magnitudes)

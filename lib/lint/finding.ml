@@ -1,0 +1,59 @@
+type rule =
+  | Domain_safety
+  | Unsafe_access
+  | Float_equality
+  | Swallowed_exception
+  | Pragma
+  | Syntax
+
+type severity = Error | Warning
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  message : string;
+  severity : severity;
+}
+
+let rule_name = function
+  | Domain_safety -> "domain-safety"
+  | Unsafe_access -> "unsafe-access"
+  | Float_equality -> "float-equality"
+  | Swallowed_exception -> "swallowed-exception"
+  | Pragma -> "pragma"
+  | Syntax -> "syntax"
+
+let rule_of_name = function
+  | "domain-safety" -> Some Domain_safety
+  | "unsafe-access" -> Some Unsafe_access
+  | "float-equality" -> Some Float_equality
+  | "swallowed-exception" -> Some Swallowed_exception
+  | "pragma" -> Some Pragma
+  | "syntax" -> Some Syntax
+  | _ -> None
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let severity_of_name = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | _ -> None
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = String.compare (rule_name a.rule) (rule_name b.rule) in
+      if c <> 0 then c
+      else
+        let c = String.compare a.message b.message in
+        if c <> 0 then c
+        else String.compare (severity_name a.severity) (severity_name b.severity)
+
+let to_text f =
+  Printf.sprintf "%s:%d: [%s] %s: %s" f.file f.line
+    (severity_name f.severity) (rule_name f.rule) f.message

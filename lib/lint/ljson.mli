@@ -1,0 +1,23 @@
+(** Minimal JSON values — just enough to emit the lint report and parse
+    it back (the fixture suite asserts the round-trip).  No third-party
+    JSON dependency: the repo policy is stdlib + compiler-libs only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Compact, deterministic serialization (object fields in the order
+    given; strings escaped per RFC 8259). *)
+val to_string : t -> string
+
+(** Parse a value.  Numbers are restricted to (optionally signed)
+    integers — all the report ever emits.  Raises [Failure] with a
+    byte-offset diagnostic on malformed input. *)
+val of_string : string -> t
+
+(** Object field lookup; [None] on non-objects and absent keys. *)
+val member : string -> t -> t option

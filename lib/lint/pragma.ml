@@ -1,0 +1,160 @@
+type entry = {
+  p_first : int; (* line the pragma comment starts on *)
+  p_last : int; (* line after the comment closes — the annotated code *)
+  p_rule : Finding.rule;
+  p_reason : string;
+  mutable p_used : bool;
+}
+
+type t = { file : string; entries : entry list }
+
+(* Concatenated so the scanner never matches its own source. *)
+let marker = "lint: " ^ "allow"
+
+(* Strip leading separator punctuation between the rule name and the
+   justification: spaces, ASCII dashes/colons, and the UTF-8 em dash
+   (0xE2 0x80 0x94). *)
+let strip_separator s =
+  let n = String.length s in
+  let i = ref 0 in
+  let scanning = ref true in
+  while !scanning && !i < n do
+    match s.[!i] with
+    | ' ' | '\t' | '-' | ':' -> incr i
+    | '\xe2' when !i + 2 < n && s.[!i + 1] = '\x80' && s.[!i + 2] = '\x94' ->
+        i := !i + 3
+    | _ -> scanning := false
+  done;
+  String.sub s !i (n - !i)
+
+let is_rule_char = function 'a' .. 'z' | '-' -> true | _ -> false
+
+(* Index of the first occurrence of [sub] in [s] at or after [from],
+   or -1. *)
+let find_sub s sub from =
+  let ns = String.length s and nb = String.length sub in
+  let last = ns - nb in
+  let rec go i =
+    if i > last then -1
+    else if String.sub s i nb = sub then i
+    else go (i + 1)
+  in
+  if nb = 0 then -1 else go (max 0 from)
+
+(* Parse the pragma body (everything after [marker], comment closer
+   stripped). *)
+let parse_one ~file ~first ~last body =
+  let body =
+    match find_sub body "*)" 0 with
+    | -1 -> body
+    | stop -> String.sub body 0 stop
+  in
+  let body = String.trim body in
+  let rule_len =
+    let n = String.length body in
+    let rec go i = if i < n && is_rule_char body.[i] then go (i + 1) else i in
+    go 0
+  in
+  let rule_name = String.sub body 0 rule_len in
+  let reason =
+    String.trim
+      (strip_separator (String.sub body rule_len (String.length body - rule_len)))
+  in
+  match Finding.rule_of_name rule_name with
+  | None ->
+      Error
+        {
+          Finding.rule = Finding.Pragma;
+          file;
+          line = first;
+          message =
+            Printf.sprintf
+              "unknown rule %S in lint pragma (rules: domain-safety, \
+               unsafe-access, float-equality, swallowed-exception)"
+              rule_name;
+          severity = Finding.Error;
+        }
+  | Some rule ->
+      if reason = "" then
+        Error
+          {
+            Finding.rule = Finding.Pragma;
+            file;
+            line = first;
+            message =
+              Printf.sprintf
+                "pragma for %s needs a justification after the rule name \
+                 (separated by \xe2\x80\x94, -- or :)"
+                rule_name;
+            severity = Finding.Error;
+          }
+      else
+        Ok
+          {
+            p_first = first;
+            p_last = last;
+            p_rule = rule;
+            p_reason = reason;
+            p_used = false;
+          }
+
+let scan ~file source =
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  let n = Array.length lines in
+  let entries = ref [] and errors = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match find_sub lines.(!i) marker 0 with
+    | -1 -> ()
+    | at ->
+        let first = !i + 1 in
+        let body = Buffer.create 64 in
+        let start = at + String.length marker in
+        Buffer.add_string body
+          (String.sub lines.(!i) start (String.length lines.(!i) - start));
+        (* Absorb continuation lines until the comment closes, so a
+           multi-line justification still anchors to the code line that
+           follows the closing "*)". *)
+        while find_sub (Buffer.contents body) "*)" 0 = -1 && !i + 1 < n do
+          incr i;
+          Buffer.add_char body ' ';
+          Buffer.add_string body (String.trim lines.(!i))
+        done;
+        let last = !i + 2 in
+        (* the line after the comment closes *)
+        match parse_one ~file ~first ~last (Buffer.contents body) with
+        | Ok e -> entries := e :: !entries
+        | Error f -> errors := f :: !errors);
+    incr i
+  done;
+  ({ file; entries = List.rev !entries }, List.rev !errors)
+
+let allows t rule ~line =
+  match
+    List.find_opt
+      (fun e -> e.p_rule = rule && e.p_first <= line && line <= e.p_last)
+      t.entries
+  with
+  | Some e ->
+      e.p_used <- true;
+      true
+  | None -> false
+
+let unused t =
+  List.filter_map
+    (fun e ->
+      if e.p_used then None
+      else
+        Some
+          {
+            Finding.rule = Finding.Pragma;
+            file = t.file;
+            line = e.p_first;
+            message =
+              Printf.sprintf
+                "unused lint pragma: no %s finding on lines %d-%d (reason \
+                 given: %s)"
+                (Finding.rule_name e.p_rule) e.p_first e.p_last e.p_reason;
+            severity = Finding.Warning;
+          })
+    t.entries

@@ -1,0 +1,31 @@
+(** Per-file [(* lint: allow <rule> — <reason> *)] pragmas.
+
+    A pragma suppresses findings of the named rule on any line the
+    comment itself spans {e and} the line directly below its closing
+    delimiter, so trailing-comment, own-line, and multi-line
+    justification placements all work:
+
+    {[
+      let x = probe () = 0.0 (* lint: allow float-equality — sentinel *)
+
+      (* lint: allow swallowed-exception — probe: failure means "absent" *)
+      let ok = try check (); true with _ -> false
+    ]}
+
+    The justification after the separator ([—], [--] or [:]) is
+    mandatory: a pragma without one is itself an error finding, and a
+    pragma that suppressed nothing is a warning ([Pragma] rule), so
+    stale annotations cannot accumulate. *)
+
+type t
+
+(** [scan ~file source] extracts the pragma table and any malformed
+    pragmas (unknown rule, missing justification) as findings. *)
+val scan : file:string -> string -> t * Finding.t list
+
+(** [allows t rule ~line] is true when some pragma's range covers
+    [line] for [rule]; marks that pragma as used. *)
+val allows : t -> Finding.rule -> line:int -> bool
+
+(** Warning findings for pragmas {!allows} never consumed. *)
+val unused : t -> Finding.t list

@@ -1,0 +1,298 @@
+open Parsetree
+
+(* Longident path as a string list; Lapply (functor application inside
+   a path) never names a flagged primitive, so it maps to []. *)
+let rec flatten (lid : Longident.t) =
+  match lid with
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> flatten l @ [ s ]
+  | Lapply _ -> []
+
+let last_two path =
+  match List.rev path with
+  | last :: pen :: _ -> (pen, last)
+  | [ last ] -> ("", last)
+  | [] -> ("", "")
+
+let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+(* ------------------------------------------------------------------ *)
+(* Rule 1: domain-safety — top-level mutable state                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocators whose result is mutable storage: creating one at
+   module-init position yields state shared by every domain that touches
+   the module. *)
+let alloc_message pen last =
+  match (pen, last) with
+  | _, "ref" -> Some "allocates a ref"
+  | "Hashtbl", "create" -> Some "allocates a Hashtbl.t"
+  | "Buffer", "create" -> Some "allocates a Buffer.t"
+  | "Queue", "create" -> Some "allocates a Queue.t"
+  | "Stack", "create" -> Some "allocates a Stack.t"
+  | "Atomic", "make" -> Some "allocates an Atomic.t"
+  | "Array", ("make" | "create_float" | "init" | "make_matrix" | "copy") ->
+      Some (Printf.sprintf "allocates an array via Array.%s" last)
+  | "Bytes", ("create" | "make" | "copy" | "of_string") ->
+      Some (Printf.sprintf "allocates mutable bytes via Bytes.%s" last)
+  | ("Array1" | "Array2" | "Array3" | "Genarray"), ("create" | "init") ->
+      Some (Printf.sprintf "allocates a Bigarray via %s.%s" pen last)
+  | _ -> None
+
+(* Mutable record labels declared in this compilation unit: a top-level
+   record literal mentioning one is top-level mutable state even though
+   the allocation has no function call to pattern-match on. *)
+let mutable_labels structure =
+  let labels = Hashtbl.create 16 in
+  let type_declaration _self (td : type_declaration) =
+    match td.ptype_kind with
+    | Ptype_record fields ->
+        List.iter
+          (fun (ld : label_declaration) ->
+            if ld.pld_mutable = Asttypes.Mutable then
+              Hashtbl.replace labels ld.pld_name.Location.txt ())
+          fields
+    | _ -> ()
+  in
+  let iter = { Ast_iterator.default_iterator with type_declaration } in
+  iter.structure iter structure;
+  labels
+
+(* Walk an expression evaluated at module-init time, not descending into
+   function bodies (whose allocations are per-call, not module state) or
+   lazy thunks. *)
+let scan_init ~on ~labels expr =
+  let check e =
+    match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _ :: _) -> (
+        let pen, last = last_two (flatten txt) in
+        match alloc_message pen last with
+        | Some what ->
+            on (line_of e.pexp_loc)
+              (Printf.sprintf
+                 "%s at module-init position: top-level mutable state is \
+                  shared by every domain (DESIGN.md \xc2\xa79)"
+                 what)
+        | None -> ())
+    | Pexp_record (fields, _) ->
+        let mut =
+          List.filter_map
+            (fun (({ Location.txt; _ } : Longident.t Location.loc), _) ->
+              match List.rev (flatten txt) with
+              | name :: _ when Hashtbl.mem labels name -> Some name
+              | _ -> None)
+            fields
+        in
+        if mut <> [] then
+          on (line_of e.pexp_loc)
+            (Printf.sprintf
+               "builds a record with mutable field%s %s at module-init \
+                position"
+               (if List.length mut > 1 then "s" else "")
+               (String.concat ", " mut))
+    | Pexp_array (_ :: _) ->
+        on (line_of e.pexp_loc)
+          "array literal at module-init position: arrays are mutable, \
+           top-level ones are shared by every domain"
+    | _ -> ()
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          match e.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ | Pexp_newtype _ -> ()
+          | _ ->
+              check e;
+              Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.expr iter expr
+
+(* Module-init positions: top-level bindings and evals, recursively
+   through submodules.  Functor bodies are included deliberately — a
+   module-level functor application would freeze any state they allocate
+   into a shared top-level module. *)
+let rec scan_structure ~on ~labels items =
+  List.iter (scan_structure_item ~on ~labels) items
+
+and scan_structure_item ~on ~labels item =
+  match item.pstr_desc with
+  | Pstr_value (_, bindings) ->
+      List.iter (fun vb -> scan_init ~on ~labels vb.pvb_expr) bindings
+  | Pstr_eval (e, _) -> scan_init ~on ~labels e
+  | Pstr_module mb -> scan_module_expr ~on ~labels mb.pmb_expr
+  | Pstr_recmodule mbs ->
+      List.iter (fun mb -> scan_module_expr ~on ~labels mb.pmb_expr) mbs
+  | Pstr_include incl -> scan_module_expr ~on ~labels incl.pincl_mod
+  | _ -> ()
+
+and scan_module_expr ~on ~labels me =
+  match me.pmod_desc with
+  | Pmod_structure items -> scan_structure ~on ~labels items
+  | Pmod_functor (_, body) -> scan_module_expr ~on ~labels body
+  | Pmod_constraint (inner, _) -> scan_module_expr ~on ~labels inner
+  | Pmod_apply (f, arg) ->
+      scan_module_expr ~on ~labels f;
+      scan_module_expr ~on ~labels arg
+  | Pmod_apply_unit f -> scan_module_expr ~on ~labels f
+  | Pmod_ident _ | Pmod_unpack _ | Pmod_extension _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Rules 2-4: one expression-level pass                                *)
+(* ------------------------------------------------------------------ *)
+
+let unsafe_names = [ "unsafe_get"; "unsafe_set"; "unsafe_fill"; "unsafe_blit" ]
+
+(* Operand is float "by syntax": a float literal (possibly negated) or a
+   (_ : float) type annotation.  Purely syntactic — the pass runs on the
+   Parsetree, before any typing. *)
+let rec is_floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (_, { ptyp_desc = Ptyp_constr ({ txt; _ }, []); _ }) -> (
+      match List.rev (flatten txt) with
+      | "float" :: _ -> true
+      | _ -> false)
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident ("~-." | "~+." | "-." | "+."); _ }; _ },
+        [ (_, x) ] ) ->
+      is_floatish x
+  | _ -> false
+
+(* How a [try … with] case matches every exception: [_], an
+   explicitly-ignored [_e]-style binding, or a named binding (possibly
+   under aliases, or-patterns or a constraint). *)
+type catch_all = Not_catch_all | Ignored | Named of string
+
+let rec catch_all_of p =
+  match p.ppat_desc with
+  | Ppat_any -> Ignored
+  | Ppat_var { txt; _ } ->
+      if String.length txt > 0 && txt.[0] = '_' then Ignored else Named txt
+  | Ppat_alias (inner, { txt; _ }) -> (
+      match catch_all_of inner with
+      | Not_catch_all -> Not_catch_all
+      | _ -> Named txt)
+  | Ppat_constraint (inner, _) -> catch_all_of inner
+  | Ppat_or (a, b) -> (
+      match (catch_all_of a, catch_all_of b) with
+      | Not_catch_all, other | other, Not_catch_all -> other
+      | other, _ -> other)
+  | _ -> Not_catch_all
+
+(* Does the handler body mention a re-raise, or the bound exception
+   itself?  Either way the failure is not silently eaten — it is
+   wrapped, logged-and-raised, or stored for later re-raising (the
+   pool's capture path). *)
+let mentions ~exn_var body =
+  let found = ref false in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match List.rev (flatten txt) with
+              | ("raise" | "raise_notrace" | "raise_with_backtrace" | "reraise")
+                :: _ ->
+                  found := true
+              | name :: _ when Some name = exn_var -> found := true
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.expr iter body;
+  !found
+
+let scan_expressions ~on_unsafe ~on_float_eq ~on_swallow structure =
+  let check e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        match List.rev (flatten txt) with
+        | last :: _ when List.mem last unsafe_names ->
+            on_unsafe (line_of e.pexp_loc)
+              (Printf.sprintf
+                 "%s bypasses bounds checking; only the allowlisted hot paths \
+                  may use it"
+                 last)
+        | _ -> ())
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+        let path = flatten txt in
+        let _, last = last_two path in
+        let sanctioned_compare =
+          (* Float.compare etc. is the deliberate, typed spelling. *)
+          match path with
+          | [ m; "compare" ] -> m <> "Stdlib"
+          | _ -> false
+        in
+        match last with
+        | ("=" | "<>" | "compare") when not sanctioned_compare ->
+            let operands =
+              List.filter_map
+                (fun (lbl, a) ->
+                  match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+                args
+            in
+            if List.exists is_floatish operands then
+              on_float_eq (line_of e.pexp_loc)
+                (Printf.sprintf
+                   "structural %s on float operands (bitwise equality; NaN \
+                    breaks it) \xe2\x80\x94 compare against a tolerance or \
+                    use Float.compare deliberately"
+                   (if last = "compare" then "compare" else last))
+        | _ -> ())
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            let swallows =
+              c.pc_guard = None
+              &&
+              match catch_all_of c.pc_lhs with
+              | Not_catch_all -> false
+              | Ignored -> not (mentions ~exn_var:None c.pc_rhs)
+              | Named v -> not (mentions ~exn_var:(Some v) c.pc_rhs)
+            in
+            if swallows then
+              on_swallow (line_of c.pc_lhs.ppat_loc)
+                "catch-all exception handler would swallow Pool's re-raised \
+                 worker failures and Store.Write_failed; match specific \
+                 exceptions, use the exception, or re-raise")
+          cases
+    | _ -> ()
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          check e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.structure iter structure
+
+(* ------------------------------------------------------------------ *)
+
+let check ~domain_scope ~file structure =
+  let findings = ref [] in
+  let add rule line message =
+    findings :=
+      { Finding.rule; file; line; message; severity = Finding.Error }
+      :: !findings
+  in
+  if domain_scope then begin
+    let labels = mutable_labels structure in
+    scan_structure
+      ~on:(fun line msg -> add Finding.Domain_safety line msg)
+      ~labels structure
+  end;
+  scan_expressions
+    ~on_unsafe:(fun line msg -> add Finding.Unsafe_access line msg)
+    ~on_float_eq:(fun line msg -> add Finding.Float_equality line msg)
+    ~on_swallow:(fun line msg -> add Finding.Swallowed_exception line msg)
+    structure;
+  List.rev !findings

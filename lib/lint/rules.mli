@@ -1,0 +1,30 @@
+(** The four analysis rules over a parsed [Parsetree.structure]
+    (DESIGN.md §10).
+
+    - {b domain-safety} (only when [domain_scope] is true for the file):
+      mutable state allocated at module-init position — [ref],
+      [Hashtbl.create], [Buffer.create], [Array.make], Bigarray
+      allocation, array literals, records with [mutable] fields declared
+      in the same file.  Module-init position means outside any function
+      body, including inside submodules and functor bodies (a functor
+      application at module level would freeze such state into shared
+      top-level values).
+    - {b unsafe-access}: any [unsafe_get]/[unsafe_set] (and the sibling
+      [unsafe_fill]/[unsafe_blit]) mention.
+    - {b float-equality}: structural [=], [<>] or polymorphic [compare]
+      with a float-literal or [(_ : float)]-annotated operand.
+      [Float.compare]/[Float.equal] are the sanctioned spellings and do
+      not fire.
+    - {b swallowed-exception}: unguarded [try … with] catch-all cases
+      ([_], [_e], a bare variable, or aliases/or-patterns thereof)
+      whose handler neither re-raises nor so much as mentions the
+      caught exception — such a handler eats [Pool.map]'s re-raised
+      worker failures and [Store.Write_failed] silently.  Binding and
+      using the exception (wrapping, logging, storing for later
+      re-raise) is deliberate and does not fire.
+
+    All findings are raw (severity [Error]); allowlists and pragmas are
+    applied downstream by {!Driver}. *)
+
+val check :
+  domain_scope:bool -> file:string -> Parsetree.structure -> Finding.t list

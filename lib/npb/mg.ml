@@ -70,14 +70,19 @@ module Make_sized (C : CONFIG) (S : Scvad_ad.Scalar.S) = struct
 
   (* Flat offset of each level, finest first. *)
   let offsets =
+    (* lint: allow domain-safety — write-once offset table, frozen before
+       any read; each Make_sized instantiation (one per analysis, inside
+       its own domain) builds its own copy *)
     let off = Array.make (lt + 1) 0 in
-    let pos = ref 0 in
-    for l = lt downto 1 do
-      off.(l) <- !pos;
-      let n = extent l in
-      pos := !pos + (n * n * n)
-    done;
-    assert (!pos <= nv);
+    let rec fill l pos =
+      if l >= 1 then begin
+        off.(l) <- pos;
+        let n = extent l in
+        fill (l - 1) (pos + (n * n * n))
+      end
+      else pos
+    in
+    assert (fill lt 0 <= nv);
     off
 
   type state = {

@@ -22,7 +22,49 @@ type t = {
 (* True inside a pool worker: nested maps must not re-enter the pool. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let default_jobs () = Domain.recommended_domain_count ()
+(* Container CPU budget.  [Domain.recommended_domain_count] reports the
+   host's core count even when a cgroup quota caps the process well
+   below it; oversubscribing a capped container just adds scheduler
+   churn.  Read the quota directly (cgroup v2, then v1) and clamp. *)
+
+let read_first_line path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let line = try Some (input_line ic) with End_of_file -> None in
+      close_in ic;
+      line
+
+let quota_of ~quota ~period =
+  match (int_of_string_opt quota, int_of_string_opt period) with
+  | Some q, Some p when q > 0 && p > 0 -> Some ((q + p - 1) / p)
+  | _ -> None (* -1 / "max" / garbage: unlimited *)
+
+let cgroup_quota () =
+  match read_first_line "/sys/fs/cgroup/cpu.max" with
+  | Some line -> (
+      (* v2: one file holding "<quota|max> <period>". *)
+      match String.split_on_char ' ' (String.trim line) with
+      | [ quota; period ] -> quota_of ~quota ~period
+      | _ -> None)
+  | None -> (
+      (* v1: split quota/period files; quota -1 means unlimited. *)
+      match
+        ( read_first_line "/sys/fs/cgroup/cpu/cpu.cfs_quota_us",
+          read_first_line "/sys/fs/cgroup/cpu/cpu.cfs_period_us" )
+      with
+      | Some quota, Some period ->
+          quota_of ~quota:(String.trim quota) ~period:(String.trim period)
+      | _ -> None)
+
+let hardware_threads () =
+  match cgroup_quota () with
+  | Some n -> max 1 n
+  | None -> Domain.recommended_domain_count ()
+
+let default_jobs () =
+  min (Domain.recommended_domain_count ()) (hardware_threads ())
+
 let jobs t = t.jobs
 
 let worker_loop pool () =

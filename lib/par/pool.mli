@@ -22,7 +22,16 @@ val create : jobs:int -> t
 (** Parallelism bound the pool was created with. *)
 val jobs : t -> int
 
-(** The default pool width: [Domain.recommended_domain_count ()]. *)
+(** The CPU budget actually available to this process: the cgroup CPU
+    quota (v2 [cpu.max], else v1 [cpu.cfs_quota_us]/[cpu.cfs_period_us],
+    rounded up) when one is set, else
+    [Domain.recommended_domain_count ()].  Always at least 1. *)
+val hardware_threads : unit -> int
+
+(** The default pool width:
+    [min (Domain.recommended_domain_count ()) (hardware_threads ())] —
+    the advertised core count clamped to the container's CPU quota, so a
+    capped container never oversubscribes its budget. *)
 val default_jobs : unit -> int
 
 (** [map pool f xs] applies [f] to every element of [xs] on the pool and

@@ -1,0 +1,32 @@
+(* Known-bad domain-safety fixture: every flavor of top-level mutable
+   state the rule covers.  Never compiled — parsed by the lint tests. *)
+
+let counter = ref 0
+let cache = Hashtbl.create 16
+let scratch = Buffer.create 256
+let workspace = Array.make 8 0
+let slab = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 4
+
+type cell = { mutable hits : int; name : string }
+
+let stats = { hits = 0; name = "top" }
+let lookup_table = [| 1; 2; 3 |]
+
+(* Closure over module-init state: the ref outlives every call. *)
+let tally =
+  let seen = ref [] in
+  fun x ->
+    seen := x :: !seen;
+    List.length !seen
+
+module Nested = struct
+  let inner_queue = Queue.create ()
+end
+
+module Applied (S : sig val n : int end) = struct
+  let functor_state = Array.make S.n 0
+end
+
+let use () =
+  ( counter, cache, scratch, workspace, slab, stats, lookup_table, tally,
+    Nested.inner_queue )

@@ -1,0 +1,23 @@
+(* Known-good domain-safety fixture: allocation only inside function
+   bodies (per-call state), plus immutable top-level values. *)
+
+let make_counter () = ref 0
+let make_cache () = Hashtbl.create 16
+let squares n = Array.init n (fun i -> i * i)
+
+type cell = { mutable hits : int; name : string }
+
+let fresh_cell name = { hits = 0; name }
+
+let pi = 4.0 *. atan 1.0
+let banner = "scvad"
+let limits = (16, 32)
+
+let fold_squares n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + (i * i)
+  done;
+  !acc
+
+let use () = (make_counter, make_cache, squares, fresh_cell, pi, banner, limits, fold_squares)

@@ -1,0 +1,7 @@
+(* Known-bad float-equality fixture. *)
+
+let is_zero x = x = 0.0
+let nonzero x = x <> 0.
+let cmp a b = compare (a : float) b
+let negated x = x = -1.0
+let stdlib_cmp a b = Stdlib.compare a (b : float)

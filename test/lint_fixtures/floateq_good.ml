@@ -1,0 +1,8 @@
+(* Known-good float-equality fixture: tolerances, deliberate
+   Float.compare, and non-float structural equality. *)
+
+let close ?(eps = 1e-12) a b = Float.abs (a -. b) <= eps
+let is_small x = Float.abs x < epsilon_float
+let ordered a b = Float.compare a b <= 0
+let same_int (a : int) b = a = b
+let same_name (a : string) b = String.equal a b

@@ -1,0 +1,13 @@
+(* Fixture: malformed pragmas are errors and do not suppress anything;
+   a pragma that suppresses nothing is a warning. *)
+
+(* lint: allow float-equality *)
+let is_sentinel x = x = 0.0
+
+(* lint: allow no-such-rule — because reasons *)
+let unrelated = 1
+
+(* lint: allow unsafe-access — there is no unsafe access below *)
+let stale = 2
+
+let use () = (is_sentinel, unrelated, stale)

@@ -1,0 +1,13 @@
+(* Fixture: justified pragmas suppress findings — trailing, own-line and
+   multi-line placements. *)
+
+let is_sentinel x = x = 0.0 (* lint: allow float-equality — exact zero is the sentinel this format reserves *)
+
+(* lint: allow swallowed-exception — probe helper: any failure just means
+   "feature not supported here" *)
+let probe f = try f () with _ -> false
+
+(* lint: allow domain-safety — write-once table, frozen before any read *)
+let table = Array.make 4 0
+
+let use () = (is_sentinel, probe, table)

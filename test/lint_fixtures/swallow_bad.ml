@@ -1,0 +1,7 @@
+(* Known-bad swallowed-exception fixture: catch-alls that silently eat
+   every failure, including Pool re-raises and Store.Write_failed. *)
+
+let quietly f = try f () with _ -> ()
+let default d f = try f () with _e -> d
+
+let bound_but_ignored f = try f () with err -> 0

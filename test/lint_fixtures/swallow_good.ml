@@ -1,0 +1,16 @@
+(* Known-good swallowed-exception fixture: specific matches, re-raises,
+   and handlers that capture the exception for later use. *)
+
+let lookup tbl k = try Some (Hashtbl.find tbl k) with Not_found -> None
+
+let logged f =
+  try f ()
+  with e ->
+    prerr_endline (Printexc.to_string e);
+    raise e
+
+let captured f =
+  try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+
+let guarded f =
+  try f () with e when e = Exit -> 0

@@ -1,0 +1,6 @@
+(* Known-bad unsafe-access fixture. *)
+
+let third (a : int array) = Array.unsafe_get a 2
+let clobber (b : Bytes.t) = Bytes.unsafe_set b 0 'x'
+let peek (big : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t) =
+  Bigarray.Array1.unsafe_get big 0

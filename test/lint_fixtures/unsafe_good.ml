@@ -1,0 +1,5 @@
+(* Known-good unsafe-access fixture: bounds-checked access only. *)
+
+let third (a : int array) = a.(2)
+let clobber (b : Bytes.t) = Bytes.set b 0 'x'
+let safe_name _ = "unsafe_get mentioned in a string literal is fine"

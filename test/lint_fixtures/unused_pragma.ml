@@ -1,0 +1,4 @@
+(* lint: allow float-equality — nothing below actually compares floats *)
+let x = 1
+
+let use () = x

@@ -1,0 +1,194 @@
+(* Fixture suite for scvad_lint: each rule against a known-bad and a
+   known-good snippet, pragma semantics, allowlist accounting, report
+   ordering, and the JSON round-trip. *)
+
+module Driver = Scvad_lint.Driver
+module Finding = Scvad_lint.Finding
+
+(* dune runtest runs in test/, dune exec from the workspace root —
+   resolve the fixture tree from either. *)
+let root =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+  else Filename.concat "test" "lint_fixtures"
+
+let p name = Filename.concat root name
+
+(* The fixture tree stands in for the real source roots: the
+   domain-safety rule is scoped to it, and no allowlist applies unless a
+   test says so. *)
+let fixture_config =
+  { Driver.domain_dirs = [ root ]; unsafe_allow = []; float_allow = [] }
+
+let lint path = Driver.lint_paths ~config:fixture_config [ path ]
+
+let lines_of rule (r : Driver.result) =
+  List.filter_map
+    (fun (f : Finding.t) ->
+      if f.Finding.rule = rule then Some f.Finding.line else None)
+    r.Driver.findings
+
+let check_lines name rule path expected =
+  let r = lint path in
+  Alcotest.(check (list int)) name expected (lines_of rule r)
+
+let check_clean name path =
+  let r = lint path in
+  Alcotest.(check (list string))
+    name []
+    (List.map Finding.to_text r.Driver.findings)
+
+(* ------------------------------------------------------------------ *)
+(* One known-bad / known-good pair per rule                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_domain_bad () =
+  check_lines "domain-safety findings" Finding.Domain_safety
+    (p "domain_bad.ml")
+    [ 4; 5; 6; 7; 8; 12; 13; 17; 23; 27 ]
+
+let test_domain_good () = check_clean "no findings" (p "domain_good.ml")
+
+let test_domain_out_of_scope () =
+  (* The same known-bad file is clean when the rule's scope excludes it. *)
+  let config = { fixture_config with Driver.domain_dirs = [ "lib" ] } in
+  let r = Driver.lint_paths ~config [ (p "domain_bad.ml") ] in
+  Alcotest.(check int) "domain rule out of scope" 0 (List.length r.Driver.findings)
+
+let test_unsafe_bad () =
+  check_lines "unsafe-access findings" Finding.Unsafe_access
+    (p "unsafe_bad.ml") [ 3; 4; 6 ]
+
+let test_unsafe_good () = check_clean "no findings" (p "unsafe_good.ml")
+
+let test_floateq_bad () =
+  check_lines "float-equality findings" Finding.Float_equality
+    (p "floateq_bad.ml") [ 3; 4; 5; 6; 7 ]
+
+let test_floateq_good () = check_clean "no findings" (p "floateq_good.ml")
+
+let test_swallow_bad () =
+  check_lines "swallowed-exception findings" Finding.Swallowed_exception
+    (p "swallow_bad.ml") [ 4; 5; 7 ]
+
+let test_swallow_good () = check_clean "no findings" (p "swallow_good.ml")
+
+(* ------------------------------------------------------------------ *)
+(* Pragmas                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_pragma_suppresses () =
+  let r = lint (p "pragma_ok.ml") in
+  Alcotest.(check (list string))
+    "all findings suppressed" []
+    (List.map Finding.to_text r.Driver.findings);
+  Alcotest.(check int) "three pragmas consumed" 3 r.Driver.suppressed
+
+let test_pragma_malformed () =
+  let r = lint (p "pragma_bad.ml") in
+  let tagged severity =
+    List.filter (fun (f : Finding.t) -> f.Finding.severity = severity)
+      r.Driver.findings
+  in
+  (* A justification-less pragma and an unknown rule are errors; the
+     unsuppressed float-equality stays; the stale pragma is a warning. *)
+  Alcotest.(check (list int))
+    "error lines" [ 4; 5; 7 ]
+    (List.map (fun (f : Finding.t) -> f.Finding.line) (tagged Finding.Error));
+  Alcotest.(check (list int))
+    "warning lines (stale pragma)" [ 10 ]
+    (List.map (fun (f : Finding.t) -> f.Finding.line) (tagged Finding.Warning));
+  Alcotest.(check int) "nothing suppressed" 0 r.Driver.suppressed;
+  Alcotest.(check bool) "errors fail the run" true (Driver.has_errors r)
+
+let test_unused_pragma_warns_only () =
+  let r = lint (p "unused_pragma.ml") in
+  Alcotest.(check int) "one finding" 1 (List.length r.Driver.findings);
+  Alcotest.(check bool) "warnings alone do not fail" false (Driver.has_errors r)
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_allowlist_silences_and_reports () =
+  let config =
+    {
+      fixture_config with
+      Driver.unsafe_allow =
+        [ ((p "unsafe_bad.ml"), "fixture justification") ];
+    }
+  in
+  let r = Driver.lint_paths ~config [ (p "unsafe_bad.ml") ] in
+  Alcotest.(check int) "no findings" 0 (List.length r.Driver.findings);
+  match r.Driver.allow_notes with
+  | [ note ] ->
+      Alcotest.(check string)
+        "justification carried" "fixture justification"
+        note.Driver.a_justification;
+      Alcotest.(check int) "uses counted" 3 note.Driver.a_uses
+  | notes ->
+      Alcotest.failf "expected exactly one allowlist note, got %d"
+        (List.length notes)
+
+(* ------------------------------------------------------------------ *)
+(* Report ordering and JSON round-trip                                 *)
+(* ------------------------------------------------------------------ *)
+
+let whole_tree () = Driver.lint_paths ~config:fixture_config [ root ]
+
+let test_sorted_by_file_line () =
+  let r = whole_tree () in
+  Alcotest.(check bool) "the tree exercises multiple files" true
+    (List.length
+       (List.sort_uniq String.compare
+          (List.map (fun (f : Finding.t) -> f.Finding.file) r.Driver.findings))
+    > 3);
+  Alcotest.(check (list string))
+    "findings sorted by (file, line)"
+    (List.map Finding.to_text (List.sort Finding.compare r.Driver.findings))
+    (List.map Finding.to_text r.Driver.findings)
+
+let test_json_roundtrip () =
+  let r = whole_tree () in
+  let parsed = Driver.findings_of_json (Driver.render_json r) in
+  Alcotest.(check int)
+    "same cardinality" (List.length r.Driver.findings) (List.length parsed);
+  List.iter2
+    (fun (a : Finding.t) (b : Finding.t) ->
+      Alcotest.(check string) "finding round-trips" (Finding.to_text a)
+        (Finding.to_text b);
+      Alcotest.(check bool) "record equality" true (a = b))
+    r.Driver.findings parsed
+
+let test_json_rejects_garbage () =
+  Alcotest.(check bool) "malformed JSON raises" true
+    (match Driver.findings_of_json "{\"findings\": [42" with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let suites =
+  [ ( "lint.rules",
+      [ Alcotest.test_case "domain-safety: known bad" `Quick test_domain_bad;
+        Alcotest.test_case "domain-safety: known good" `Quick test_domain_good;
+        Alcotest.test_case "domain-safety: scope" `Quick test_domain_out_of_scope;
+        Alcotest.test_case "unsafe-access: known bad" `Quick test_unsafe_bad;
+        Alcotest.test_case "unsafe-access: known good" `Quick test_unsafe_good;
+        Alcotest.test_case "float-equality: known bad" `Quick test_floateq_bad;
+        Alcotest.test_case "float-equality: known good" `Quick test_floateq_good;
+        Alcotest.test_case "swallowed-exception: known bad" `Quick
+          test_swallow_bad;
+        Alcotest.test_case "swallowed-exception: known good" `Quick
+          test_swallow_good ] );
+    ( "lint.driver",
+      [ Alcotest.test_case "pragmas suppress with justification" `Quick
+          test_pragma_suppresses;
+        Alcotest.test_case "malformed pragmas are errors" `Quick
+          test_pragma_malformed;
+        Alcotest.test_case "stale pragma is a warning only" `Quick
+          test_unused_pragma_warns_only;
+        Alcotest.test_case "allowlist silences and reports uses" `Quick
+          test_allowlist_silences_and_reports;
+        Alcotest.test_case "findings sorted by (file, line)" `Quick
+          test_sorted_by_file_line;
+        Alcotest.test_case "JSON round-trips" `Quick test_json_roundtrip;
+        Alcotest.test_case "JSON parser rejects garbage" `Quick
+          test_json_rejects_garbage ] ) ]

@@ -149,6 +149,29 @@ let test_activity_parallel_determinism () =
   in
   List.iter2 (check_var_report_equal "cg-tiny") seq.Crit.vars par.Crit.vars
 
+let test_default_jobs_clamped () =
+  let hw = Pool.hardware_threads () in
+  let dj = Pool.default_jobs () in
+  Alcotest.(check bool) "hardware_threads >= 1" true (hw >= 1);
+  Alcotest.(check bool) "default_jobs >= 1" true (dj >= 1);
+  Alcotest.(check bool) "default_jobs <= recommended" true
+    (dj <= Domain.recommended_domain_count ());
+  Alcotest.(check bool) "default_jobs <= hardware budget" true (dj <= hw)
+
+(* Criticality.report is plain data (strings, bool arrays, span lists),
+   so Marshal gives a bit-exact comparison of whole analysis records. *)
+let prop_suite_determinism =
+  QCheck.Test.make ~count:2
+    ~name:"analyze_suite bit-identical across random jobs"
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (j1, j2) ->
+      let run j =
+        Marshal.to_string
+          (Scvad_core.Analyzer.analyze_suite ~jobs:j Scvad_npb.Suite.all)
+          []
+      in
+      String.equal (run j1) (run j2))
+
 let suites =
   [ ( "par.pool",
       [ Alcotest.test_case "map preserves input order" `Quick test_map_ordering;
@@ -161,11 +184,14 @@ let suites =
           test_map_after_shutdown;
         Alcotest.test_case "nested map" `Quick test_nested_map;
         Alcotest.test_case "init" `Quick test_init;
-        Alcotest.test_case "tasks overlap" `Quick test_map_actually_parallel ] );
+        Alcotest.test_case "tasks overlap" `Quick test_map_actually_parallel;
+        Alcotest.test_case "default jobs clamped to CPU budget" `Quick
+          test_default_jobs_clamped ] );
     ( "par.determinism",
       [ Alcotest.test_case "analyze_suite jobs=1 = jobs=4 (all NPB)" `Quick
           test_suite_determinism;
         Alcotest.test_case "forward probe jobs=1 = jobs=4 (cg-tiny)" `Quick
           test_forward_probe_parallel_determinism;
         Alcotest.test_case "activity jobs=1 = jobs=4 (cg-tiny)" `Quick
-          test_activity_parallel_determinism ] ) ]
+          test_activity_parallel_determinism;
+        QCheck_alcotest.to_alcotest prop_suite_determinism ] ) ]
