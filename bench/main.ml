@@ -542,6 +542,57 @@ let bench_regions =
     [ 2; 34; 4096 ]
 
 (* ------------------------------------------------------------------ *)
+(* Static pre-filtering: the scvad_activity pass plus the analyzer
+   fast path it unlocks.  Wall clock (like the suite group): the
+   quantities of interest are the one-shot cost of the static pass and
+   the end-to-end reverse-analysis saving — tape nodes and seconds —
+   when statically-inactive variables are never lifted. *)
+let bench_static_prefilter () =
+  say "-- Static pre-filtering (scvad_activity fast path)\n";
+  match Scvad_activity.Driver.locate_npb_dir () with
+  | None -> say "  (lib/npb sources not found; group skipped)\n"
+  | Some dir ->
+      let t0 = Unix.gettimeofday () in
+      let verdicts, _findings = Scvad_activity.Driver.analyze_dir dir in
+      let t_static = Unix.gettimeofday () -. t0 in
+      let claims = Scvad_activity.Verdict.total_inactive_claims verdicts in
+      record ~group:"static" ~name:"static_pass/lib_npb" ~metric:"s" t_static;
+      record ~group:"static" ~name:"static_pass/inactive_elements"
+        ~metric:"elements" (float_of_int claims);
+      say "  %-40s %10.2f ms  (%d inactive elements proven)\n"
+        "static pass (all kernel sources)" (t_static *. 1e3) claims;
+      List.iter
+        (fun (module A : Scvad_core.App.S) ->
+          match Scvad_activity.Verdict.find_app verdicts ~app:A.name with
+          | Some av
+            when Scvad_activity.Verdict.skippable_float_vars av <> [] ->
+              let wall static =
+                let t0 = Unix.gettimeofday () in
+                let r = Scvad_core.Analyzer.analyze ?static (module A) in
+                (Unix.gettimeofday () -. t0, r.Crit.tape_nodes)
+              in
+              let t_full, nodes_full = wall None in
+              let t_fast, nodes_fast = wall (Some verdicts) in
+              record ~tape_nodes:nodes_full ~group:"static"
+                ~name:(A.name ^ "/reverse_analysis/full")
+                ~metric:"s" t_full;
+              record ~tape_nodes:nodes_fast ~group:"static"
+                ~name:(A.name ^ "/reverse_analysis/prefiltered")
+                ~metric:"s" t_fast;
+              say
+                "  %-40s %10.2f ms, %d tape nodes\n"
+                (A.name ^ " reverse analysis, full") (t_full *. 1e3)
+                nodes_full;
+              say
+                "  %-40s %10.2f ms, %d tape nodes  (-%d nodes, %.2fx)\n"
+                (A.name ^ " reverse analysis, prefiltered") (t_fast *. 1e3)
+                nodes_fast (nodes_full - nodes_fast)
+                (t_full /. Float.max 1e-9 t_fast)
+          | Some _ | None -> ())
+        Scvad_npb.Suite.all;
+      say "%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -616,6 +667,7 @@ let () =
   say "============================================================\n\n";
   phase1 ();
   bench_suite_parallel ();
+  bench_static_prefilter ();
   say "TIMINGS (Bechamel, ns per run via OLS)\n";
   run_group ~quota:0.25 "Table I" [ bench_table1 ];
   run_group ~quota:0.5 "Table II (criticality analysis per benchmark)"

@@ -1,27 +1,56 @@
 (* scvad_lint driver: static analysis over the repo's own sources.
 
-   Usage: lint [--format text|json] [PATH ...]
+   Usage: lint [--format text|json] [--only RULE] [--fail-on SEV] [PATH ...]
 
    Paths default to the four source roots; directories are walked
-   recursively for .ml files.  Exit status: 0 when no error-severity
-   finding survives the allowlists and pragmas, 1 otherwise, 2 on
-   usage errors.  `dune build @lint` runs this over lib/ bin/ bench/
-   examples/. *)
+   recursively for .ml files.  --only keeps a single rule's findings
+   (and its allowlist entries); --fail-on picks the severity threshold
+   that makes the run fail.
+
+   Exit status:
+     0  no finding at or above the --fail-on threshold (default error)
+     1  at least one such finding
+     2  usage error (unknown flag, unknown rule)
+
+   `dune build @lint` runs this over lib/ bin/ bench/ examples/. *)
 
 module Driver = Scvad_lint.Driver
 module Finding = Scvad_lint.Finding
 
+let usage =
+  "lint [--format text|json] [--only RULE] [--fail-on error|warning] [PATH \
+   ...]\n\n\
+   Exit status: 0 clean, 1 findings at or above the --fail-on threshold\n\
+   (default error), 2 usage errors."
+
+let rule_names =
+  [
+    "domain-safety";
+    "unsafe-access";
+    "float-equality";
+    "swallowed-exception";
+    "pragma";
+    "syntax";
+  ]
+
 let () =
   let format = ref "text" in
+  let only = ref "" in
+  let fail_on = ref "error" in
   let paths = ref [] in
   let spec =
     [
       ( "--format",
         Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
         " report format (default text)" );
+      ( "--only",
+        Arg.Symbol (rule_names, fun s -> only := s),
+        " report only this rule's findings" );
+      ( "--fail-on",
+        Arg.Symbol ([ "error"; "warning" ], fun s -> fail_on := s),
+        " fail on this severity or worse (default error)" );
     ]
   in
-  let usage = "lint [--format text|json] [PATH ...]" in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   let paths =
     match List.rev !paths with
@@ -29,8 +58,29 @@ let () =
     | ps -> ps
   in
   let result = Driver.lint_paths paths in
+  let result =
+    match Finding.rule_of_name !only with
+    | None -> result
+    | Some rule ->
+        {
+          result with
+          Driver.findings =
+            List.filter
+              (fun (f : Finding.t) -> f.Finding.rule = rule)
+              result.Driver.findings;
+          allow_notes =
+            List.filter
+              (fun (n : Driver.allow_note) -> n.Driver.a_rule = rule)
+              result.Driver.allow_notes;
+        }
+  in
   print_string
     (match !format with
     | "json" -> Driver.render_json result
     | _ -> Driver.render_text result);
-  if Driver.has_errors result then exit 1
+  let fails =
+    match !fail_on with
+    | "warning" -> result.Driver.findings <> []
+    | _ -> Driver.has_errors result
+  in
+  if fails then exit 1

@@ -1,0 +1,42 @@
+(** Conservative abstract interpretation of a kernel's post-checkpoint
+    cone ([run] then [output]) over the extracted {!Model}.  Produces,
+    per state field:
+
+    - a first-effect status — [Untouched] / [Killed] (fully overwritten
+      before any possible read) / [Mayread].  The first two are proofs
+      that the checkpointed value is never consumed: branch joins are
+      pessimistic and loop bodies are conservative about zero-trip
+      execution;
+    - membership in the may-influence set of the output (backward
+      closure of a flow-insensitive dependence edge graph seeded at the
+      synthetic [@output] sink);
+    - a read footprint: the affine read sites with constant loop
+      ranges, or [Top] as soon as any read is unresolvable.
+
+    Unrecognized constructs always degrade toward
+    [Mayread]/[Top]/more edges; {!Incomplete} aborts the app to a
+    fully-Unknown verdict. *)
+
+module SS : Set.S with type elt = string
+
+exception Incomplete of string
+
+type feffect = Untouched | Killed | Mayread
+
+val feffect_name : feffect -> string
+
+(** base + Σ coeff·v, each v ranging over an inclusive [lo, hi]. *)
+type site = { s_base : int; s_terms : (int * int * int) list }
+
+type footprint = Sites of site list | Top
+
+type outcome = {
+  o_status : (string * feffect) list;
+  o_reaches : SS.t;
+  o_footprints : (string * footprint) list;
+  o_notes : string list;
+}
+
+(** Raises {!Incomplete} when the cone cannot be interpreted at all
+    (missing [run]/[output], fuel exhaustion). *)
+val analyze : Model.t -> outcome

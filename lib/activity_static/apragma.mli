@@ -1,0 +1,23 @@
+(** Per-file [(* activity: assume <class> <var> — <reason> *)] pragmas.
+
+    Class words are the short forms [inactive] / [active] / [unknown];
+    the justification after the separator ([—], [--] or [:]) is
+    mandatory.  A pragma overrides the computed verdict of [<var>] when
+    it spans or directly precedes the variable's declaration line — and
+    assumed-inactive claims remain subject to the dynamic soundness
+    gate, so a wrong assumption fails [@activity-check] rather than
+    silently corrupting checkpoints. *)
+
+type tag = { a_class : Verdict.class_; a_var : string }
+type t = tag Scvad_lint.Pragma.Generic.t
+
+(** Extract the pragma table and any malformed pragmas as findings. *)
+val scan : file:string -> string -> t * Scvad_lint.Finding.t list
+
+(** Assumption whose range covers [line] for [var], if any; marks the
+    pragma used and returns its class and justification. *)
+val assume :
+  t -> var:string -> line:int -> (Verdict.class_ * string) option
+
+(** Warning findings for pragmas {!assume} never consumed. *)
+val unused : t -> Scvad_lint.Finding.t list

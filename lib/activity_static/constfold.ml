@@ -1,0 +1,64 @@
+(* Constant folding of integer Parsetree expressions against an
+   environment of top-level [let name = <int>] bindings.  The activity
+   pass only needs enough arithmetic to resolve NPB sizing expressions
+   (EP's [2 * nk], FT's [n3 * n2 * xpad], shift-built powers of two) —
+   anything else folds to [None] and the caller stays conservative. *)
+
+open Parsetree
+
+type env = (string, int) Hashtbl.t
+
+let create_env () : env = Hashtbl.create 32
+
+(* Integer literal, rejecting width suffixes (1L, 1n).  int_of_string
+   accepts underscores and 0x/0o/0b prefixes directly. *)
+let literal (c : constant) =
+  match c with
+  | Pconst_integer (text, None) -> int_of_string_opt text
+  | _ -> None
+
+let rec eval (env : env) (e : expression) : int option =
+  match e.pexp_desc with
+  | Pexp_constant c -> literal c
+  | Pexp_ident { txt = Longident.Lident name; _ } -> Hashtbl.find_opt env name
+  | Pexp_constraint (e, _) -> eval env e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = op; _ }; _ }, args) -> (
+      let name =
+        match op with
+        | Longident.Lident n -> Some n
+        | Longident.Ldot (Longident.Lident "Stdlib", n) -> Some n
+        | _ -> None
+      in
+      match (name, args) with
+      | Some "~-", [ (Asttypes.Nolabel, a) ] ->
+          Option.map (fun v -> -v) (eval env a)
+      | Some "~+", [ (Asttypes.Nolabel, a) ] -> eval env a
+      | Some op, [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ] -> (
+          match (eval env a, eval env b) with
+          | Some x, Some y -> apply2 op x y
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+and apply2 op x y =
+  match op with
+  | "+" -> Some (x + y)
+  | "-" -> Some (x - y)
+  | "*" -> Some (x * y)
+  | "/" -> if y = 0 then None else Some (x / y)
+  | "mod" -> if y = 0 then None else Some (x mod y)
+  | "lsl" -> if y < 0 || y > 62 then None else Some (x lsl y)
+  | "lsr" -> if y < 0 || y > 62 then None else Some (x lsr y)
+  | "asr" -> if y < 0 || y > 62 then None else Some (x asr y)
+  | "land" -> Some (x land y)
+  | "lor" -> Some (x lor y)
+  | "lxor" -> Some (x lxor y)
+  | "min" -> Some (min x y)
+  | "max" -> Some (max x y)
+  | _ -> None
+
+(* Record a top-level binding if its right-hand side folds. *)
+let add_binding (env : env) name rhs =
+  match eval env rhs with
+  | Some v -> Hashtbl.replace env name v
+  | None -> ()

@@ -1,0 +1,15 @@
+(** Integer constant folding over Parsetree expressions, against the
+    file's top-level [let name = <int expr>] bindings.  Resolves the
+    NPB sizing arithmetic (products, shifts, bitmasks); anything
+    outside that fragment folds to [None]. *)
+
+type env = (string, int) Hashtbl.t
+
+val create_env : unit -> env
+
+(** [eval env e] is the statically-known integer value of [e], if any. *)
+val eval : env -> Parsetree.expression -> int option
+
+(** [add_binding env name rhs] records [name] in [env] when [rhs]
+    folds; no-op otherwise. *)
+val add_binding : env -> string -> Parsetree.expression -> unit

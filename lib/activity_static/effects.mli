@@ -1,0 +1,31 @@
+(** Known-call classification for the abstract interpreter.  Anything
+    not in the table is an [Unknown_call] and is handled with full
+    conservatism (arguments read, array arguments also written, result
+    tainted by every argument). *)
+
+type hof = Iter | Iteri | Map | Fold
+
+type t =
+  | Pure
+  | Array_get
+  | Array_set
+  | Array_length
+  | Array_alloc
+  | Array_init
+  | Array_hof of hof
+  | Array_fill
+  | Array_blit
+  | Array_sort
+  | Deref
+  | Assign
+  | Incr
+  | Ref_make
+  | Ignore
+  | Raise
+  | Vranlc
+  | Unknown_call
+
+(** [classify ~pure_module path] classifies a flattened callee path;
+    [pure_module m] is true for Scalar.S functor parameters, whose
+    operations are pure value computations. *)
+val classify : pure_module:(string -> bool) -> string list -> t

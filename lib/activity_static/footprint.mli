@@ -1,0 +1,7 @@
+(** Interval refinement: elements provably never read, as the
+    complement of the enumerated affine read footprint. *)
+
+(** [None] when the footprint is [Top], the element count is unknown
+    or nonpositive, or enumeration would exceed the 2^24-point cap. *)
+val inactive_spans :
+  elements:int -> Absint.footprint -> Scvad_checkpoint.Regions.t option

@@ -1,0 +1,439 @@
+(* Extraction of the analysis model from one NPB kernel source: the
+   function table (functors unwrapped), the [state] record fields, the
+   integer constants, and the checkpoint-variable declarations parsed
+   out of [float_vars]/[int_vars] — the same declarations the dynamic
+   engine consumes at run time, so the two sides analyze the same
+   metadata by construction. *)
+
+open Parsetree
+
+let rec flatten (lid : Longident.t) =
+  match lid with
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> flatten l @ [ s ]
+  | Lapply (a, b) -> flatten a @ flatten b
+
+let last_segment lid =
+  match List.rev (flatten lid) with s :: _ -> s | [] -> ""
+
+let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+type fn = {
+  fn_params : (Asttypes.arg_label * pattern) list;
+  fn_body : expression;
+}
+
+type var_decl = {
+  v_name : string;
+  v_field : string option;  (* backing state field, when unambiguous *)
+  v_kind : Verdict.kind;
+  v_elements : int option;
+  v_spe : int;
+  v_declared_critical : string option;  (* Always_critical justification *)
+  v_line : int;
+}
+
+type t = {
+  file : string;
+  mutable app_name : string option;
+  consts : Constfold.env;
+  funcs : (string, fn) Hashtbl.t;  (* first definition wins *)
+  fields : (string, bool) Hashtbl.t;  (* state field -> is_array *)
+  field_elements : (string, int) Hashtbl.t;  (* from var declarations *)
+  local_modules : (string, unit) Hashtbl.t;
+  pure_modules : (string, unit) Hashtbl.t;  (* Scalar.S functor params *)
+  mutable vars : var_decl list;
+  mutable notes : string list;
+}
+
+let note t msg = if not (List.mem msg t.notes) then t.notes <- t.notes @ [ msg ]
+let find_fn t name = Hashtbl.find_opt t.funcs name
+let is_state_field t name = Hashtbl.mem t.fields name
+
+(* ---- function collection -------------------------------------------- *)
+
+let rec split_fun params (e : expression) =
+  match e.pexp_desc with
+  | Pexp_fun (label, _, pat, body) -> split_fun ((label, pat) :: params) body
+  | Pexp_newtype (_, body) -> split_fun params body
+  | Pexp_constraint (inner, _) when params = [] -> split_fun params inner
+  | _ -> (List.rev params, e)
+
+let string_const (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | _ -> None
+
+(* Is this module type Scvad_ad.Scalar.S (whose operations are pure in
+   the primal sense the pass needs)? *)
+let is_scalar_sig (mty : module_type) =
+  match mty.pmty_desc with
+  | Pmty_ident { txt; _ } -> (
+      match List.rev (flatten txt) with
+      | "S" :: "Scalar" :: _ -> true
+      | _ -> false)
+  | _ -> false
+
+let rec collect_structure t items = List.iter (collect_item t) items
+
+and collect_item t item =
+  match item.pstr_desc with
+  | Pstr_value (_, vbs) -> List.iter (collect_binding t) vbs
+  | Pstr_type (_, decls) -> List.iter (collect_type t) decls
+  | Pstr_module mb ->
+      let name =
+        match mb.pmb_name.Location.txt with Some n -> n | None -> "_"
+      in
+      if module_is_internal t mb.pmb_expr then
+        Hashtbl.replace t.local_modules name ();
+      if name = "App" && t.app_name = None then
+        t.app_name <- app_name_of t mb.pmb_expr;
+      collect_module_expr t mb.pmb_expr
+  | Pstr_recmodule mbs ->
+      List.iter
+        (fun mb ->
+          (match mb.pmb_name.Location.txt with
+          | Some n when module_is_internal t mb.pmb_expr ->
+              Hashtbl.replace t.local_modules n ()
+          | _ -> ());
+          collect_module_expr t mb.pmb_expr)
+        mbs
+  | Pstr_include incl -> collect_module_expr t incl.pincl_mod
+  | _ -> ()
+
+and collect_binding t vb =
+  match binding_name vb.pvb_pat with
+  | None -> ()
+  | Some name -> (
+      match split_fun [] vb.pvb_expr with
+      | [], _ -> Constfold.add_binding t.consts name vb.pvb_expr
+      | params, body ->
+          if not (Hashtbl.mem t.funcs name) then
+            Hashtbl.add t.funcs name { fn_params = params; fn_body = body })
+
+and binding_name (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (inner, _) -> binding_name inner
+  | _ -> None
+
+(* A module binding is "internal" when calls through it resolve to
+   functions defined in this file: a structure literal, a functor whose
+   body is one, or an application of an internal module ([Plain =
+   Kernel (Plain_ops)]).  [C = Adi_common.Make_sized (G) (S)] is
+   external — calls through it stay conservative. *)
+and module_is_internal t (me : module_expr) =
+  match me.pmod_desc with
+  | Pmod_structure _ | Pmod_functor _ -> true
+  | Pmod_constraint (inner, _) -> module_is_internal t inner
+  | Pmod_apply (f, _) | Pmod_apply_unit f -> module_is_internal t f
+  | Pmod_ident { txt; _ } -> (
+      match flatten txt with
+      | head :: _ -> Hashtbl.mem t.local_modules head
+      | [] -> false)
+  | Pmod_unpack _ | Pmod_extension _ -> false
+
+and collect_type t decl =
+  if decl.ptype_name.Location.txt = "state" then
+    match decl.ptype_kind with
+    | Ptype_record labels ->
+        List.iter
+          (fun ld ->
+            let is_array =
+              match ld.pld_type.ptyp_desc with
+              | Ptyp_constr ({ txt; _ }, _) -> last_segment txt = "array"
+              | _ -> false
+            in
+            Hashtbl.replace t.fields ld.pld_name.Location.txt is_array)
+          labels
+    | _ -> ()
+
+and collect_module_expr t (me : module_expr) =
+  match me.pmod_desc with
+  | Pmod_structure items -> collect_structure t items
+  | Pmod_functor (param, body) ->
+      (match param with
+      | Named ({ Location.txt = Some pname; _ }, mty) when is_scalar_sig mty ->
+          Hashtbl.replace t.pure_modules pname ()
+      | _ -> ());
+      collect_module_expr t body
+  | Pmod_constraint (inner, _) -> collect_module_expr t inner
+  | Pmod_apply (f, arg) ->
+      collect_module_expr t f;
+      collect_module_expr t arg
+  | Pmod_apply_unit f -> collect_module_expr t f
+  | Pmod_ident _ | Pmod_unpack _ | Pmod_extension _ -> ()
+
+and app_name_of t (me : module_expr) =
+  match me.pmod_desc with
+  | Pmod_constraint (inner, _) -> app_name_of t inner
+  | Pmod_structure items ->
+      List.fold_left
+        (fun acc item ->
+          match (acc, item.pstr_desc) with
+          | Some _, _ -> acc
+          | None, Pstr_value (_, vbs) ->
+              List.fold_left
+                (fun acc vb ->
+                  match (acc, binding_name vb.pvb_pat) with
+                  | None, Some "name" -> string_const vb.pvb_expr
+                  | _ -> acc)
+                None vbs
+          | None, _ -> None)
+        None items
+  | _ -> None
+
+(* ---- checkpoint-variable declarations ------------------------------- *)
+
+(* All state-field names mentioned through the declaration expression
+   ([st.f] reads in get/set closures, [st.f <- v] writes, positional
+   array arguments). *)
+let fields_mentioned t (e : expression) =
+  let acc = ref [] in
+  let add name =
+    if is_state_field t name && not (List.mem name !acc) then
+      acc := name :: !acc
+  in
+  let it = Ast_iterator.default_iterator in
+  let expr it' (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_field (_, { txt; _ }) -> add (last_segment txt)
+    | Pexp_setfield (_, { txt; _ }, _) -> add (last_segment txt)
+    | _ -> ());
+    it.expr it' e
+  in
+  let it = { it with expr } in
+  it.expr it e;
+  !acc
+
+(* Element count of a [Shape] expression: [Shape.scalar],
+   [Shape.create [dims]], or a let-bound alias of either. *)
+let rec elements_of_shape t locals (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _) -> elements_of_shape t locals inner
+  | Pexp_ident { txt; _ } -> (
+      match last_segment txt with
+      | "scalar" -> Some 1
+      | name -> (
+          match List.assoc_opt name locals with
+          | Some alias -> elements_of_shape t locals alias
+          | None -> None))
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when last_segment txt = "create" -> (
+      match args with
+      | [ (Asttypes.Nolabel, dims) ] ->
+          let rec product (e : expression) =
+            match e.pexp_desc with
+            | Pexp_construct ({ txt = Lident "[]"; _ }, None) -> Some 1
+            | Pexp_construct
+                ( { txt = Lident "::"; _ },
+                  Some { pexp_desc = Pexp_tuple [ hd; tl ]; _ } ) -> (
+                match (Constfold.eval t.consts hd, product tl) with
+                | Some d, Some rest when d >= 0 -> Some (d * rest)
+                | _ -> None)
+            | _ -> None
+          in
+          product dims
+      | _ -> None)
+  | _ -> None
+
+let labelled name args =
+  List.find_map
+    (fun (label, e) ->
+      match label with
+      | Asttypes.Labelled l when l = name -> Some e
+      | Asttypes.Optional l when l = name -> Some e
+      | _ -> None)
+    args
+
+let positional args =
+  List.filter_map
+    (fun (label, e) ->
+      match label with Asttypes.Nolabel -> Some e | _ -> None)
+    args
+
+(* Unique backing field of a declaration, from the fields its get/set
+   closures (or positional array argument) mention. *)
+let field_of_decl t exprs =
+  match List.concat_map (fields_mentioned t) exprs with
+  | [] -> None
+  | first :: rest ->
+      if List.for_all (fun f -> f = first) rest then Some first else None
+
+let crit_of_construct (e : expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt; _ }, arg) -> (
+      match (last_segment txt, arg) with
+      | "Always_critical", Some reason -> (
+          match string_const reason with
+          | Some s -> Some (Some s)
+          | None -> Some (Some "declared"))
+      | "By_taint", _ -> Some None
+      | _ -> None)
+  | _ -> None
+
+let decl_of_element t ~kind locals (e : expression) =
+  let line = line_of e.pexp_loc in
+  let mk ~name ~field ~elements ~spe ~declared =
+    (match (field, elements) with
+    | Some f, Some n -> Hashtbl.replace t.field_elements f n
+    | _ -> ());
+    Some
+      {
+        v_name = name;
+        v_field = field;
+        v_kind = kind;
+        v_elements = elements;
+        v_spe = spe;
+        v_declared_critical = declared;
+        v_line = line;
+      }
+  in
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      let pos = positional args in
+      match last_segment txt with
+      | "make" -> (
+          match Option.bind (labelled "name" args) string_const with
+          | None -> None
+          | Some name ->
+              let spe =
+                match
+                  Option.bind (labelled "spe" args)
+                    (Constfold.eval t.consts)
+                with
+                | Some s -> s
+                | None -> 1
+              in
+              let elements =
+                Option.bind (labelled "shape" args)
+                  (elements_of_shape t locals)
+              in
+              let accessors =
+                List.filter_map (fun l -> labelled l args) [ "get"; "set" ]
+              in
+              mk ~name ~field:(field_of_decl t accessors) ~elements ~spe
+                ~declared:None)
+      | "of_array" | "int_of_array" -> (
+          match Option.bind (labelled "name" args) string_const with
+          | None -> None
+          | Some name ->
+              let elements =
+                match pos with
+                | shape :: _ -> elements_of_shape t locals shape
+                | [] -> None
+              in
+              let field =
+                match pos with
+                | [ _; arr ] -> field_of_decl t [ arr ]
+                | _ -> None
+              in
+              let declared =
+                match
+                  Option.bind (labelled "crit" args) crit_of_construct
+                with
+                | Some d -> d
+                | None -> None
+              in
+              mk ~name ~field ~elements ~spe:1 ~declared)
+      | "of_ref" | "int_of_ref" -> (
+          match Option.bind (labelled "name" args) string_const with
+          | None -> None
+          | Some name ->
+              let declared =
+                match
+                  Option.bind (labelled "crit" args) crit_of_construct
+                with
+                | Some d -> d
+                | None -> None
+              in
+              mk ~name ~field:(field_of_decl t pos) ~elements:(Some 1) ~spe:1
+                ~declared)
+      | _ -> None)
+  | Pexp_record (record_fields, None) ->
+      let get label =
+        List.find_map
+          (fun (({ Location.txt; _ } : Longident.t Location.loc), v) ->
+            if last_segment txt = label then Some v else None)
+          record_fields
+      in
+      Option.bind (Option.bind (get "iname") string_const) (fun name ->
+          let accessors = List.filter_map get [ "iget"; "iset" ] in
+          let elements =
+            Option.bind (get "ishape") (elements_of_shape t locals)
+          in
+          let declared =
+            match Option.bind (get "icrit") crit_of_construct with
+            | Some d -> d
+            | None -> None
+          in
+          mk ~name ~field:(field_of_decl t accessors) ~elements ~spe:1
+            ~declared)
+  | _ -> None
+
+(* Walk a [float_vars]/[int_vars] body down to its list literal,
+   accumulating let-bound shape aliases on the way. *)
+let rec decls_of_body t ~kind locals (e : expression) =
+  match e.pexp_desc with
+  | Pexp_open (_, body) | Pexp_constraint (body, _) ->
+      decls_of_body t ~kind locals body
+  | Pexp_let (_, vbs, body) ->
+      let locals =
+        List.fold_left
+          (fun locals vb ->
+            match binding_name vb.pvb_pat with
+            | Some n -> (n, vb.pvb_expr) :: locals
+            | None -> locals)
+          locals vbs
+      in
+      decls_of_body t ~kind locals body
+  | Pexp_construct ({ txt = Lident "[]"; _ }, None) -> []
+  | Pexp_construct
+      ({ txt = Lident "::"; _ }, Some { pexp_desc = Pexp_tuple [ hd; tl ]; _ })
+    -> (
+      let rest = decls_of_body t ~kind locals tl in
+      match decl_of_element t ~kind locals hd with
+      | Some d -> d :: rest
+      | None ->
+          note t
+            (Printf.sprintf
+               "unrecognized %s declaration at line %d (verdict Unknown)"
+               (Verdict.kind_name kind) (line_of hd.pexp_loc));
+          rest)
+  | _ ->
+      note t
+        (Printf.sprintf "could not resolve %s list at line %d"
+           (Verdict.kind_name kind) (line_of e.pexp_loc));
+      []
+
+let collect_vars t =
+  let of_fn name kind =
+    match find_fn t name with
+    | Some fn -> decls_of_body t ~kind [] fn.fn_body
+    | None -> []
+  in
+  t.vars <-
+    of_fn "float_vars" Verdict.Float_var @ of_fn "int_vars" Verdict.Int_var
+
+let binding_name_of = binding_name
+
+(* ---- entry ----------------------------------------------------------- *)
+
+let of_structure ~file (items : structure) =
+  let t =
+    {
+      file;
+      app_name = None;
+      consts = Constfold.create_env ();
+      funcs = Hashtbl.create 64;
+      fields = Hashtbl.create 16;
+      field_elements = Hashtbl.create 16;
+      local_modules = Hashtbl.create 16;
+      pure_modules = Hashtbl.create 8;
+      vars = [];
+      notes = [];
+    }
+  in
+  collect_structure t items;
+  collect_vars t;
+  t

@@ -1,0 +1,55 @@
+(** The analysis model extracted from one NPB kernel source: function
+    table (functors unwrapped, first definition wins, so kernel bodies
+    shadow their [App.Make] aliases), the [state] record fields, folded
+    integer constants, and the checkpoint-variable declarations parsed
+    from the same [float_vars]/[int_vars] the dynamic engine consumes. *)
+
+type fn = {
+  fn_params : (Asttypes.arg_label * Parsetree.pattern) list;
+  fn_body : Parsetree.expression;
+}
+
+type var_decl = {
+  v_name : string;  (** checkpoint variable name (Table I) *)
+  v_field : string option;  (** backing state field, when unambiguous *)
+  v_kind : Verdict.kind;
+  v_elements : int option;  (** element count, when statically known *)
+  v_spe : int;
+  v_declared_critical : string option;
+      (** [Always_critical] justification, for declared-critical ints *)
+  v_line : int;  (** declaration site, for pragma anchoring *)
+}
+
+type t = {
+  file : string;
+  mutable app_name : string option;  (** [App.name], e.g. ["ep"] *)
+  consts : Constfold.env;
+  funcs : (string, fn) Hashtbl.t;
+  fields : (string, bool) Hashtbl.t;  (** state field -> is_array *)
+  field_elements : (string, int) Hashtbl.t;
+      (** backing field -> element count, from the var declarations *)
+  local_modules : (string, unit) Hashtbl.t;
+      (** module names bound in this file (callee paths through them
+          resolve locally) *)
+  pure_modules : (string, unit) Hashtbl.t;
+      (** functor parameters constrained to [Scalar.S]: their operations
+          are treated as pure scalar functions *)
+  mutable vars : var_decl list;
+  mutable notes : string list;  (** extraction imprecision notes *)
+}
+
+val note : t -> string -> unit
+val find_fn : t -> string -> fn option
+val is_state_field : t -> string -> bool
+
+(** Flattened [Longident.t] segments. *)
+val flatten : Longident.t -> string list
+
+val last_segment : Longident.t -> string
+val line_of : Location.t -> int
+
+(** Name bound by a simple [Ppat_var] (possibly constrained) pattern. *)
+val binding_name_of : Parsetree.pattern -> string option
+
+(** Build the model of a parsed implementation. *)
+val of_structure : file:string -> Parsetree.structure -> t

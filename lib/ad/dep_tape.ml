@@ -51,7 +51,12 @@ let marked bits i =
 
 let backward t ~output =
   if output < 0 || output >= t.n then
-    invalid_arg "Dep_tape.backward: output is not a tape node";
+    invalid_arg
+      (Printf.sprintf
+         "Dep_tape.backward: output node %d is not on the tape (%d node%s \
+          recorded)"
+         output t.n
+         (if t.n = 1 then "" else "s"));
   let bits = Bytes.make ((output / 8) + 1) '\000' in
   mark bits output;
   for i = output downto 0 do

@@ -35,6 +35,23 @@ let fan pool f xs =
 let fan_init pool n f =
   match pool with None -> Array.init n f | Some p -> Pool.init p n f
 
+(* Static pre-resolution (the paper's "scrutinize before you run"
+   carried to its limit): float variables the static activity pass
+   proved [Statically_inactive] are never lifted onto the tape — their
+   masks are all-false and their impact magnitudes all-zero by
+   construction.  The @activity-check gate keeps this honest: it fails
+   if the unfiltered dynamic analysis ever finds a critical element
+   inside a statically-inactive claim. *)
+let static_skips = function
+  | None -> []
+  | Some av -> Scvad_activity.Verdict.skippable_float_vars av
+
+let all_false_reports ~name ~shape ~spe =
+  let n = Scvad_nd.Shape.size shape in
+  ( Criticality.of_mask ~name ~shape ~spe ~kind:Criticality.Float_var
+      (Array.make n false),
+    Impact.of_magnitudes ~name ~shape ~spe (Array.make n 0.) )
+
 (* What one analysis pass produced.  [impact_reports] is non-empty only
    in reverse mode — the one mode whose backward sweep yields magnitudes
    as well as masks. *)
@@ -70,7 +87,8 @@ let int_reports (module A : App.S) (int_vars : Variable.int_t list) =
    is zero / nonzero) and impact magnitudes (|derivative| per element),
    which power the mixed-precision extension.  Extraction — one scan of
    every snapshot plus the region encoding — fans out per variable. *)
-let reverse_analysis ?pool (module A : App.S) ~at_iter ~niter =
+let reverse_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
+  let skips = static_skips static in
   let tape = Tape.create ~capacity_hint:A.tape_nodes_hint () in
   let module RS = Reverse.Scalar_of (struct
     let tape = tape
@@ -80,22 +98,33 @@ let reverse_analysis ?pool (module A : App.S) ~at_iter ~niter =
   I.run state ~from:0 ~until:at_iter;
   let fvars = I.float_vars state in
   (* Capture the lifted nodes: they are the checkpointed values, even if
-     the run overwrites the variable afterwards. *)
+     the run overwrites the variable afterwards.  Statically-inactive
+     variables are pre-resolved: no lifting, no tape nodes. *)
   let snapshots =
-    List.map (fun v -> (v, Variable.lift_capture v (Reverse.lift tape))) fvars
+    List.map
+      (fun (v : RS.t Variable.t) ->
+        if List.mem v.Variable.name skips then (v, None)
+        else (v, Some (Variable.lift_capture v (Reverse.lift tape))))
+      fvars
   in
   I.run state ~from:at_iter ~until:niter;
   let g = Reverse.backward tape (I.output state) in
   let per_var =
     fan pool
       (fun ((v : RS.t Variable.t), snapshot) ->
-        let mask, magnitudes =
-          Variable.mask_and_magnitudes_of_snapshot v snapshot (Reverse.grad g)
-        in
-        ( Criticality.of_mask ~name:v.Variable.name ~shape:v.Variable.shape
-            ~spe:v.Variable.spe ~kind:Criticality.Float_var mask,
-          Impact.of_magnitudes ~name:v.Variable.name ~shape:v.Variable.shape
-            ~spe:v.Variable.spe magnitudes ))
+        match snapshot with
+        | None ->
+            all_false_reports ~name:v.Variable.name ~shape:v.Variable.shape
+              ~spe:v.Variable.spe
+        | Some snapshot ->
+            let mask, magnitudes =
+              Variable.mask_and_magnitudes_of_snapshot v snapshot
+                (Reverse.grad g)
+            in
+            ( Criticality.of_mask ~name:v.Variable.name ~shape:v.Variable.shape
+                ~spe:v.Variable.spe ~kind:Criticality.Float_var mask,
+              Impact.of_magnitudes ~name:v.Variable.name ~shape:v.Variable.shape
+                ~spe:v.Variable.spe magnitudes ))
       snapshots
   in
   {
@@ -105,7 +134,8 @@ let reverse_analysis ?pool (module A : App.S) ~at_iter ~niter =
     tape_nodes = Tape.length tape;
   }
 
-let activity_analysis ?pool (module A : App.S) ~at_iter ~niter =
+let activity_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
+  let skips = static_skips static in
   let tape = Dep_tape.create ~capacity:(1 lsl 16) () in
   let module AS = Activity.Scalar_of (struct
     let tape = tape
@@ -115,18 +145,28 @@ let activity_analysis ?pool (module A : App.S) ~at_iter ~niter =
   I.run state ~from:0 ~until:at_iter;
   let fvars = I.float_vars state in
   let snapshots =
-    List.map (fun v -> (v, Variable.lift_capture v (Activity.lift tape))) fvars
+    List.map
+      (fun (v : AS.t Variable.t) ->
+        if List.mem v.Variable.name skips then (v, None)
+        else (v, Some (Variable.lift_capture v (Activity.lift tape))))
+      fvars
   in
   I.run state ~from:at_iter ~until:niter;
   let r = Activity.backward tape (I.output state) in
   let vars =
     fan pool
       (fun ((v : AS.t Variable.t), snapshot) ->
-        let mask =
-          Variable.element_mask_of_snapshot v snapshot (Activity.active r)
-        in
-        Criticality.of_mask ~name:v.Variable.name ~shape:v.Variable.shape
-          ~spe:v.Variable.spe ~kind:Criticality.Float_var mask)
+        match snapshot with
+        | None ->
+            fst
+              (all_false_reports ~name:v.Variable.name ~shape:v.Variable.shape
+                 ~spe:v.Variable.spe)
+        | Some snapshot ->
+            let mask =
+              Variable.element_mask_of_snapshot v snapshot (Activity.active r)
+            in
+            Criticality.of_mask ~name:v.Variable.name ~shape:v.Variable.shape
+              ~spe:v.Variable.spe ~kind:Criticality.Float_var mask)
       snapshots
   in
   {
@@ -136,7 +176,8 @@ let activity_analysis ?pool (module A : App.S) ~at_iter ~niter =
     tape_nodes = Dep_tape.length tape;
   }
 
-let forward_analysis ?pool (module A : App.S) ~at_iter ~niter =
+let forward_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
+  let skips = static_skips static in
   let module I = A.Make (Dual.Scalar) in
   (* Structure discovery run (no seeding). *)
   let skeleton = I.create () in
@@ -164,10 +205,14 @@ let forward_analysis ?pool (module A : App.S) ~at_iter ~niter =
   let vars =
     List.mapi
       (fun vindex (name, shape, spe) ->
-        let mask =
-          fan_init pool (Scvad_nd.Shape.size shape) (fun e -> probe vindex e)
-        in
-        Criticality.of_mask ~name ~shape ~spe ~kind:Criticality.Float_var mask)
+        if List.mem name skips then
+          fst (all_false_reports ~name ~shape ~spe)
+        else
+          let mask =
+            fan_init pool (Scvad_nd.Shape.size shape) (fun e -> probe vindex e)
+          in
+          Criticality.of_mask ~name ~shape ~spe ~kind:Criticality.Float_var
+            mask)
       shapes
   in
   {
@@ -178,18 +223,22 @@ let forward_analysis ?pool (module A : App.S) ~at_iter ~niter =
   }
 
 let analyze_with ?(mode = Criticality.Reverse_gradient) ?(at_iter = 0) ?niter
-    ?pool (module A : App.S) =
+    ?pool ?static (module A : App.S) =
   let niter = Option.value niter ~default:A.analysis_niter in
   if at_iter < 0 || at_iter >= niter then
     invalid_arg "Analyzer.analyze: need 0 <= at_iter < niter";
+  let static =
+    Option.bind static (fun vs ->
+        Scvad_activity.Verdict.find_app vs ~app:A.name)
+  in
   let a =
     match mode with
     | Criticality.Reverse_gradient ->
-        reverse_analysis ?pool (module A) ~at_iter ~niter
+        reverse_analysis ?pool ?static (module A) ~at_iter ~niter
     | Criticality.Activity_dependence ->
-        activity_analysis ?pool (module A) ~at_iter ~niter
+        activity_analysis ?pool ?static (module A) ~at_iter ~niter
     | Criticality.Forward_probe ->
-        forward_analysis ?pool (module A) ~at_iter ~niter
+        forward_analysis ?pool ?static (module A) ~at_iter ~niter
   in
   {
     Criticality.app = A.name;
@@ -200,27 +249,27 @@ let analyze_with ?(mode = Criticality.Reverse_gradient) ?(at_iter = 0) ?niter
     vars = a.float_reports @ a.int_reports;
   }
 
-let analyze ?mode ?at_iter ?niter ?(jobs = 1) (module A : App.S) =
+let analyze ?mode ?at_iter ?niter ?jobs:(jobs = 1) ?static (module A : App.S) =
   if jobs < 1 then invalid_arg "Analyzer.analyze: jobs must be >= 1";
-  if jobs = 1 then analyze_with ?mode ?at_iter ?niter (module A)
+  if jobs = 1 then analyze_with ?mode ?at_iter ?niter ?static (module A)
   else
     Pool.with_pool ~jobs (fun pool ->
-        analyze_with ?mode ?at_iter ?niter ~pool (module A))
+        analyze_with ?mode ?at_iter ?niter ~pool ?static (module A))
 
 (* Suite-level parallelism: each benchmark's analysis builds its own
    tape and state, so the eight analyses share nothing and run whole on
    separate domains.  The same pool also serves the per-analysis
    fan-outs: a nested Pool.map from inside a worker degrades to the
    sequential path, so the pool never deadlocks on itself. *)
-let analyze_suite ?mode ?at_iter ?niter ?jobs apps =
+let analyze_suite ?mode ?at_iter ?niter ?jobs ?static apps =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   if jobs < 1 then invalid_arg "Analyzer.analyze_suite: jobs must be >= 1";
   if jobs = 1 then
-    List.map (fun app -> analyze_with ?mode ?at_iter ?niter app) apps
+    List.map (fun app -> analyze_with ?mode ?at_iter ?niter ?static app) apps
   else
     Pool.with_pool ~jobs (fun pool ->
         Pool.map pool
-          (fun app -> analyze_with ?mode ?at_iter ?niter ~pool app)
+          (fun app -> analyze_with ?mode ?at_iter ?niter ~pool ?static app)
           apps)
 
 (* Union over several checkpoint boundaries: an element is critical if
@@ -228,13 +277,15 @@ let analyze_suite ?mode ?at_iter ?niter ?jobs apps =
    policy that prunes with one mask at every interval (cf. IS, whose
    key_array matters mid-run while bucket_ptrs matters just before the
    final verification). *)
-let analyze_boundaries ?mode ~boundaries ?niter ?jobs (module A : App.S) =
+let analyze_boundaries ?mode ~boundaries ?niter ?jobs ?static
+    (module A : App.S) =
   match boundaries with
   | [] -> invalid_arg "Analyzer.analyze_boundaries: no boundaries"
   | first :: _ ->
       let reports =
         List.map
-          (fun at_iter -> analyze ?mode ~at_iter ?niter ?jobs (module A))
+          (fun at_iter ->
+            analyze ?mode ~at_iter ?niter ?jobs ?static (module A))
           boundaries
       in
       let union_var (a : Criticality.var_report) (b : Criticality.var_report) =

@@ -32,20 +32,45 @@ type analysis = {
 (** One taped run + one backward sweep for all elements (what Enzyme
     does for the paper's authors); also yields impact magnitudes.  The
     tape is sized from [App.S.tape_nodes_hint], so the common case
-    allocates its storage exactly once. *)
+    allocates its storage exactly once.
+
+    [static] pre-resolves the variables the static activity pass
+    ({!Scvad_activity}) proved [Statically_inactive] for this app:
+    they are never lifted onto the tape — fewer tape nodes, less
+    backward-sweep work — and their reports are all-false masks /
+    all-zero magnitudes by construction.  The [@activity-check] gate
+    asserts the static claims against the unfiltered dynamic analysis,
+    so passing a gate-checked verdict table never changes a mask. *)
 val reverse_analysis :
-  ?pool:Scvad_par.Pool.t -> (module App.S) -> at_iter:int -> niter:int -> analysis
+  ?pool:Scvad_par.Pool.t ->
+  ?static:Scvad_activity.Verdict.app_verdicts ->
+  (module App.S) ->
+  at_iter:int ->
+  niter:int ->
+  analysis
 
 (** Edges-only dependence reachability — cheaper, but a zero-valued
-    partial still counts as a dependence. *)
+    partial still counts as a dependence.  [static] as in
+    {!reverse_analysis}. *)
 val activity_analysis :
-  ?pool:Scvad_par.Pool.t -> (module App.S) -> at_iter:int -> niter:int -> analysis
+  ?pool:Scvad_par.Pool.t ->
+  ?static:Scvad_activity.Verdict.app_verdicts ->
+  (module App.S) ->
+  at_iter:int ->
+  niter:int ->
+  analysis
 
 (** One dual-number re-run per element — the naive reading of "inspect
     every single element"; oracle and ablation.  The element loop
-    shards across the pool (each probe owns its state). *)
+    shards across the pool (each probe owns its state).  [static]
+    skips every probe of a statically-inactive variable. *)
 val forward_analysis :
-  ?pool:Scvad_par.Pool.t -> (module App.S) -> at_iter:int -> niter:int -> analysis
+  ?pool:Scvad_par.Pool.t ->
+  ?static:Scvad_activity.Verdict.app_verdicts ->
+  (module App.S) ->
+  at_iter:int ->
+  niter:int ->
+  analysis
 
 (** [analyze ?mode ?at_iter ?niter ?jobs app].
 
@@ -66,12 +91,17 @@ val forward_analysis :
     elements that the unanalyzed iterations would overwrite, and all
     eight NPB kernels have iteration-invariant access patterns, so the
     short default windows reproduce the full-run answer (asserted by
-    the test suite). *)
+    the test suite).
+
+    [static] (default none) is a verdict table from the static
+    activity pass; the entry matching the app (if any) pre-resolves
+    its statically-inactive variables without lifting them. *)
 val analyze :
   ?mode:Criticality.mode ->
   ?at_iter:int ->
   ?niter:int ->
   ?jobs:int ->
+  ?static:Scvad_activity.Verdict.verdicts ->
   (module App.S) ->
   Criticality.report
 
@@ -88,6 +118,7 @@ val analyze_suite :
   ?at_iter:int ->
   ?niter:int ->
   ?jobs:int ->
+  ?static:Scvad_activity.Verdict.verdicts ->
   (module App.S) list ->
   Criticality.report list
 
@@ -100,6 +131,7 @@ val analyze_boundaries :
   boundaries:int list ->
   ?niter:int ->
   ?jobs:int ->
+  ?static:Scvad_activity.Verdict.verdicts ->
   (module App.S) ->
   Criticality.report
 

@@ -1,17 +1,9 @@
-type entry = {
-  p_first : int; (* line the pragma comment starts on *)
-  p_last : int; (* line after the comment closes — the annotated code *)
-  p_rule : Finding.rule;
-  p_reason : string;
-  mutable p_used : bool;
-}
+(* Generic per-file pragma scanner, instantiated twice: the lint
+   allow-pragmas below ("lint", then the allow marker, a rule name and
+   a mandatory reason), and the static activity pass's assume-pragmas
+   (lib/activity_static/apragma.ml). *)
 
-type t = { file : string; entries : entry list }
-
-(* Concatenated so the scanner never matches its own source. *)
-let marker = "lint: " ^ "allow"
-
-(* Strip leading separator punctuation between the rule name and the
+(* Strip leading separator punctuation between the tag and the
    justification: spaces, ASCII dashes/colons, and the UTF-8 em dash
    (0xE2 0x80 0x94). *)
 let strip_separator s =
@@ -27,8 +19,6 @@ let strip_separator s =
   done;
   String.sub s !i (n - !i)
 
-let is_rule_char = function 'a' .. 'z' | '-' -> true | _ -> false
-
 (* Index of the first occurrence of [sub] in [s] at or after [from],
    or -1. *)
 let find_sub s sub from =
@@ -41,120 +31,163 @@ let find_sub s sub from =
   in
   if nb = 0 then -1 else go (max 0 from)
 
-(* Parse the pragma body (everything after [marker], comment closer
-   stripped). *)
-let parse_one ~file ~first ~last body =
-  let body =
-    match find_sub body "*)" 0 with
-    | -1 -> body
-    | stop -> String.sub body 0 stop
-  in
-  let body = String.trim body in
-  let rule_len =
-    let n = String.length body in
-    let rec go i = if i < n && is_rule_char body.[i] then go (i + 1) else i in
-    go 0
-  in
-  let rule_name = String.sub body 0 rule_len in
-  let reason =
-    String.trim
-      (strip_separator (String.sub body rule_len (String.length body - rule_len)))
-  in
-  match Finding.rule_of_name rule_name with
-  | None ->
-      Error
-        {
-          Finding.rule = Finding.Pragma;
-          file;
-          line = first;
-          message =
-            Printf.sprintf
-              "unknown rule %S in lint pragma (rules: domain-safety, \
-               unsafe-access, float-equality, swallowed-exception)"
-              rule_name;
-          severity = Finding.Error;
-        }
-  | Some rule ->
-      if reason = "" then
+module Generic = struct
+  type 'tag entry = {
+    g_first : int; (* line the pragma comment starts on *)
+    g_last : int; (* line after the comment closes — the annotated code *)
+    g_tag : 'tag;
+    g_reason : string;
+    mutable g_used : bool;
+  }
+
+  type 'tag t = { g_file : string; g_entries : 'tag entry list }
+
+  (* Parse the pragma body (everything after the marker, comment closer
+     stripped): a run of [tag_char] characters naming the tag, then the
+     mandatory justification after the separator. *)
+  let parse_one ~file ~tag_char ~parse_tag ~first ~last body =
+    let body =
+      match find_sub body "*)" 0 with
+      | -1 -> body
+      | stop -> String.sub body 0 stop
+    in
+    let body = String.trim body in
+    let tag_len =
+      let n = String.length body in
+      let rec go i = if i < n && tag_char body.[i] then go (i + 1) else i in
+      go 0
+    in
+    let tag_text = String.trim (String.sub body 0 tag_len) in
+    let reason =
+      String.trim
+        (strip_separator
+           (String.sub body tag_len (String.length body - tag_len)))
+    in
+    match parse_tag tag_text with
+    | Error message ->
         Error
           {
             Finding.rule = Finding.Pragma;
             file;
             line = first;
-            message =
-              Printf.sprintf
-                "pragma for %s needs a justification after the rule name \
-                 (separated by \xe2\x80\x94, -- or :)"
-                rule_name;
+            message;
             severity = Finding.Error;
           }
-      else
-        Ok
-          {
-            p_first = first;
-            p_last = last;
-            p_rule = rule;
-            p_reason = reason;
-            p_used = false;
-          }
+    | Ok tag ->
+        if reason = "" then
+          Error
+            {
+              Finding.rule = Finding.Pragma;
+              file;
+              line = first;
+              message =
+                Printf.sprintf
+                  "pragma %S needs a justification after the tag (separated \
+                   by \xe2\x80\x94, -- or :)"
+                  tag_text;
+              severity = Finding.Error;
+            }
+        else
+          Ok
+            {
+              g_first = first;
+              g_last = last;
+              g_tag = tag;
+              g_reason = reason;
+              g_used = false;
+            }
+
+  let scan ~marker ~tag_char ~parse_tag ~file source =
+    let lines = Array.of_list (String.split_on_char '\n' source) in
+    let n = Array.length lines in
+    let entries = ref [] and errors = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      (match find_sub lines.(!i) marker 0 with
+      | -1 -> ()
+      | at ->
+          let first = !i + 1 in
+          let body = Buffer.create 64 in
+          let start = at + String.length marker in
+          Buffer.add_string body
+            (String.sub lines.(!i) start (String.length lines.(!i) - start));
+          (* Absorb continuation lines until the comment closes, so a
+             multi-line justification still anchors to the code line that
+             follows the closing "*)". *)
+          while find_sub (Buffer.contents body) "*)" 0 = -1 && !i + 1 < n do
+            incr i;
+            Buffer.add_char body ' ';
+            Buffer.add_string body (String.trim lines.(!i))
+          done;
+          let last = !i + 2 in
+          (* the line after the comment closes *)
+          match
+            parse_one ~file ~tag_char ~parse_tag ~first ~last
+              (Buffer.contents body)
+          with
+          | Ok e -> entries := e :: !entries
+          | Error f -> errors := f :: !errors);
+      incr i
+    done;
+    ({ g_file = file; g_entries = List.rev !entries }, List.rev !errors)
+
+  let find t pred =
+    match
+      List.find_opt (fun e -> pred e.g_tag e.g_first e.g_last) t.g_entries
+    with
+    | Some e ->
+        e.g_used <- true;
+        Some e
+    | None -> None
+
+  let unused t ~describe =
+    List.filter_map
+      (fun e ->
+        if e.g_used then None
+        else
+          Some
+            {
+              Finding.rule = Finding.Pragma;
+              file = t.g_file;
+              line = e.g_first;
+              message = describe e.g_tag e.g_first e.g_last e.g_reason;
+              severity = Finding.Warning;
+            })
+      t.g_entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* The lint instantiation: the allow-pragma with a rule-name tag       *)
+(* ------------------------------------------------------------------ *)
+
+type t = Finding.rule Generic.t
+
+(* Concatenated so the scanner never matches its own source. *)
+let marker = "lint: " ^ "allow"
+
+let is_rule_char = function 'a' .. 'z' | '-' -> true | _ -> false
+
+let parse_rule name =
+  match Finding.rule_of_name name with
+  | Some r -> Ok r
+  | None ->
+      Error
+        (Printf.sprintf
+           "unknown rule %S in lint pragma (rules: domain-safety, \
+            unsafe-access, float-equality, swallowed-exception)"
+           name)
 
 let scan ~file source =
-  let lines = Array.of_list (String.split_on_char '\n' source) in
-  let n = Array.length lines in
-  let entries = ref [] and errors = ref [] in
-  let i = ref 0 in
-  while !i < n do
-    (match find_sub lines.(!i) marker 0 with
-    | -1 -> ()
-    | at ->
-        let first = !i + 1 in
-        let body = Buffer.create 64 in
-        let start = at + String.length marker in
-        Buffer.add_string body
-          (String.sub lines.(!i) start (String.length lines.(!i) - start));
-        (* Absorb continuation lines until the comment closes, so a
-           multi-line justification still anchors to the code line that
-           follows the closing "*)". *)
-        while find_sub (Buffer.contents body) "*)" 0 = -1 && !i + 1 < n do
-          incr i;
-          Buffer.add_char body ' ';
-          Buffer.add_string body (String.trim lines.(!i))
-        done;
-        let last = !i + 2 in
-        (* the line after the comment closes *)
-        match parse_one ~file ~first ~last (Buffer.contents body) with
-        | Ok e -> entries := e :: !entries
-        | Error f -> errors := f :: !errors);
-    incr i
-  done;
-  ({ file; entries = List.rev !entries }, List.rev !errors)
+  Generic.scan ~marker ~tag_char:is_rule_char ~parse_tag:parse_rule ~file
+    source
 
 let allows t rule ~line =
-  match
-    List.find_opt
-      (fun e -> e.p_rule = rule && e.p_first <= line && line <= e.p_last)
-      t.entries
-  with
-  | Some e ->
-      e.p_used <- true;
-      true
-  | None -> false
+  Option.is_some
+    (Generic.find t (fun r first last ->
+         r = rule && first <= line && line <= last))
 
 let unused t =
-  List.filter_map
-    (fun e ->
-      if e.p_used then None
-      else
-        Some
-          {
-            Finding.rule = Finding.Pragma;
-            file = t.file;
-            line = e.p_first;
-            message =
-              Printf.sprintf
-                "unused lint pragma: no %s finding on lines %d-%d (reason \
-                 given: %s)"
-                (Finding.rule_name e.p_rule) e.p_first e.p_last e.p_reason;
-            severity = Finding.Warning;
-          })
-    t.entries
+  Generic.unused t ~describe:(fun rule first last reason ->
+      Printf.sprintf
+        "unused lint pragma: no %s finding on lines %d-%d (reason given: %s)"
+        (Finding.rule_name rule) first last reason)

@@ -15,9 +15,48 @@
     The justification after the separator ([—], [--] or [:]) is
     mandatory: a pragma without one is itself an error finding, and a
     pragma that suppressed nothing is a warning ([Pragma] rule), so
-    stale annotations cannot accumulate. *)
+    stale annotations cannot accumulate.
 
-type t
+    {!Generic} is the underlying scanner, parameterized over the marker
+    string and the tag grammar; the static activity pass instantiates it
+    a second time for its [(* activity: assume … *)] pragmas. *)
+
+(** Marker-and-tag pragma scanner, generic in the tag type. *)
+module Generic : sig
+  type 'tag entry = {
+    g_first : int;  (** line the pragma comment starts on *)
+    g_last : int;  (** line after the comment closes — the annotated code *)
+    g_tag : 'tag;
+    g_reason : string;
+    mutable g_used : bool;
+  }
+
+  type 'tag t = { g_file : string; g_entries : 'tag entry list }
+
+  (** [scan ~marker ~tag_char ~parse_tag ~file source] extracts every
+      pragma whose comment contains [marker].  The tag is the maximal
+      run of [tag_char] characters after the marker; [parse_tag]
+      validates it ([Error message] becomes an error finding), and a
+      missing justification is an error finding too. *)
+  val scan :
+    marker:string ->
+    tag_char:(char -> bool) ->
+    parse_tag:(string -> ('tag, string) result) ->
+    file:string ->
+    string ->
+    'tag t * Finding.t list
+
+  (** First entry whose [(tag, first_line, last_line)] satisfies the
+      predicate; marks it used. *)
+  val find : 'tag t -> ('tag -> int -> int -> bool) -> 'tag entry option
+
+  (** Warning findings for entries {!find} never consumed, rendered by
+      [describe tag first last reason]. *)
+  val unused :
+    'tag t -> describe:('tag -> int -> int -> string -> string) -> Finding.t list
+end
+
+type t = Finding.rule Generic.t
 
 (** [scan ~file source] extracts the pragma table and any malformed
     pragmas (unknown rule, missing justification) as findings. *)

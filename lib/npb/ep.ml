@@ -9,9 +9,14 @@
    identical stream from any batch boundary.
 
    Checkpoint variables (Table I): double sx, double sy, double q[10],
-   int k.  All elements are critical: sx/sy/q are read-modify-write
+   double buffer[2*nk], int k.  sx/sy/q are read-modify-write
    accumulators whose checkpointed value flows straight into the final
-   verification sums (paper §IV-B). *)
+   verification sums (paper §IV-B), so every element is critical.
+   [buffer] is the per-batch scratch of uniform deviates: each batch
+   regenerates it in full with [vranlc] before reading it, so its
+   checkpointed value is dead on restart — the static activity pass
+   proves this (kill-before-read) and the analyzer's fast path skips
+   lifting it. *)
 
 let m = 24 (* class S: 2^m random pairs *)
 let mk = 16 (* batch exponent: 2^mk pairs per batch *)
@@ -91,7 +96,13 @@ module Make_generic (S : Scvad_ad.Scalar.S) = struct
         ();
       of_array ~name:"q" ~doc:"annulus counts of the accepted pairs"
         (Scvad_nd.Shape.create [ nq ])
-        st.q ]
+        st.q;
+      make ~name:"buffer" ~doc:"uniform deviates of the current batch"
+        ~shape:(Scvad_nd.Shape.create [ 2 * nk ])
+        ~spe:1
+        ~get:(fun e _ -> S.of_float st.buffer.(e))
+        ~set:(fun e _ v -> st.buffer.(e) <- S.to_float v)
+        () ]
 
   let int_vars st =
     [ {
@@ -109,7 +120,7 @@ module App : Scvad_core.App.S = struct
   let description = "Embarrassingly Parallel Gaussian deviates (class S)"
   let default_niter = nn
   let analysis_niter = 1
-  let tape_nodes_hint = 170_000
+  let tape_nodes_hint = 310_000
   let int_taint_masks = None
 
   module Make (S : Scvad_ad.Scalar.S) = Make_generic (S)

@@ -296,6 +296,62 @@ let test_dep_tape_bitset_edges () =
   Alcotest.(check bool) "fresh var not reachable" false
     (Dep_tape.reachable r2 (Dep_tape.length t - 1))
 
+(* Backward on an empty tape must refuse with a diagnostic naming the
+   offending node and the tape length, not crash or mis-index. *)
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_dep_tape_empty_backward () =
+  let t = Dep_tape.create () in
+  let expect_invalid output =
+    match Dep_tape.backward t ~output with
+    | _ -> Alcotest.failf "backward %d on empty tape did not raise" output
+    | exception Invalid_argument msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "message %S names node %d" msg output)
+          true
+          (contains_sub msg (string_of_int output))
+  in
+  expect_invalid 0;
+  expect_invalid (-1);
+  expect_invalid 7
+
+(* An output that is a fresh variable with no pushed dependencies
+   reaches exactly itself. *)
+let test_dep_tape_fresh_output () =
+  let t = Dep_tape.create () in
+  let a = Dep_tape.fresh_var t in
+  let b = Dep_tape.fresh_var t in
+  let r = Dep_tape.backward t ~output:a in
+  Alcotest.(check bool) "output reaches itself" true (Dep_tape.reachable r a);
+  Alcotest.(check bool) "sibling var unreachable" false
+    (Dep_tape.reachable r b);
+  Alcotest.(check bool) "id past the sweep unreachable" false
+    (Dep_tape.reachable r (b + 1))
+
+(* A reach outlives [clear]: it is a snapshot, so reusing the tape for
+   a second recording must not corrupt answers about the first. *)
+let test_dep_tape_clear_then_reuse () =
+  let t = Dep_tape.create ~capacity:4 () in
+  let v0 = Dep_tape.fresh_var t in
+  let n1 = Dep_tape.push1 t v0 in
+  let r1 = Dep_tape.backward t ~output:n1 in
+  Dep_tape.clear t;
+  Alcotest.(check int) "cleared tape is empty" 0 (Dep_tape.length t);
+  (* Second, disjoint recording on the reused storage. *)
+  let w0 = Dep_tape.fresh_var t in
+  let w1 = Dep_tape.fresh_var t in
+  let m = Dep_tape.push2 t w0 w1 in
+  let r2 = Dep_tape.backward t ~output:m in
+  Alcotest.(check bool) "old reach still answers" true
+    (Dep_tape.reachable r1 v0);
+  Alcotest.(check bool) "new reach covers both vars" true
+    (Dep_tape.reachable r2 w0 && Dep_tape.reachable r2 w1);
+  Alcotest.(check bool) "old reach rejects ids beyond its sweep" false
+    (Dep_tape.reachable r1 m)
+
 (* ------------------------------------------------------------------ *)
 (* Integer taint                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -573,7 +629,13 @@ let suites =
       [ Alcotest.test_case "active through *0" `Quick
           test_activity_vs_gradient_on_zero_mul;
         Alcotest.test_case "unused var inactive" `Quick test_activity_unused;
-        Alcotest.test_case "bitset edges" `Quick test_dep_tape_bitset_edges ] );
+        Alcotest.test_case "bitset edges" `Quick test_dep_tape_bitset_edges;
+        Alcotest.test_case "empty-tape backward refuses" `Quick
+          test_dep_tape_empty_backward;
+        Alcotest.test_case "fresh output reaches itself" `Quick
+          test_dep_tape_fresh_output;
+        Alcotest.test_case "clear then reuse" `Quick
+          test_dep_tape_clear_then_reuse ] );
     ( "ad.itaint",
       [ Alcotest.test_case "arithmetic joins" `Quick test_itaint_arith;
         Alcotest.test_case "index dependence" `Quick
