@@ -593,6 +593,67 @@ let bench_static_prefilter () =
       say "%!"
 
 (* ------------------------------------------------------------------ *)
+(* Guarded scrutiny: the static certification pass plus the dynamic
+   falsifier it schedules.  Wall clock: the quantities of interest are
+   the one-shot certification cost, the per-trial falsifier price on
+   the cheapest kernel (IS, whose continuation is dominated by the
+   verification sweep), and how many mask elements the witnesses
+   promote over the plain AD verdict. *)
+let bench_guard () =
+  say "-- Guarded scrutiny (certificates + perturbation falsifier)\n";
+  match Scvad_guard.Driver.locate_npb_dir () with
+  | None -> say "  (lib/npb sources not found; group skipped)\n"
+  | Some dir ->
+      let t0 = Unix.gettimeofday () in
+      let certs, _findings = Scvad_guard.Driver.analyze_dir dir in
+      let t_certs = Unix.gettimeofday () -. t0 in
+      let tainted =
+        Scvad_guard.Cert.count_class certs Scvad_guard.Cert.Control_tainted
+      in
+      record ~group:"guard" ~name:"certify/lib_npb" ~metric:"s" t_certs;
+      record ~group:"guard" ~name:"certify/control_tainted_vars"
+        ~metric:"vars" (float_of_int tainted);
+      say "  %-40s %10.2f ms  (%d control-tainted variables)\n"
+        "certification pass (all kernel sources)" (t_certs *. 1e3) tainted;
+      let app =
+        match Scvad_npb.Suite.find "is" with
+        | Some a -> a
+        | None -> failwith "no is app"
+      in
+      let wall guard =
+        let t0 = Unix.gettimeofday () in
+        let r = Scvad_core.Analyzer.analyze ?guard app in
+        (Unix.gettimeofday () -. t0, r)
+      in
+      let t_plain, plain = wall None in
+      let trials = 200 in
+      let t_guarded, guarded =
+        wall
+          (Some
+             { Scvad_core.Analyzer.g_certs = certs; g_trials = trials;
+               g_seed = 0 })
+      in
+      let critical (r : Crit.report) =
+        List.fold_left
+          (fun acc v -> acc + Crit.critical v)
+          0 r.Crit.vars
+      in
+      let promoted = critical guarded - critical plain in
+      record ~group:"guard" ~name:"is/analyze/plain" ~metric:"s" t_plain;
+      record ~group:"guard"
+        ~name:(Printf.sprintf "is/analyze/guarded_%d_trials" trials)
+        ~metric:"s" t_guarded;
+      record ~group:"guard" ~name:"is/promoted_elements" ~metric:"elements"
+        (float_of_int promoted);
+      say "  %-40s %10.2f ms\n" "is analyze, plain" (t_plain *. 1e3);
+      say "  %-40s %10.2f ms  (%.3f ms/trial, %d elements promoted)\n"
+        (Printf.sprintf "is analyze, guarded (%d trials)" trials)
+        (t_guarded *. 1e3)
+        ((t_guarded -. t_plain) *. 1e3 /. float_of_int trials)
+        promoted;
+      say "%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -668,6 +729,7 @@ let () =
   phase1 ();
   bench_suite_parallel ();
   bench_static_prefilter ();
+  bench_guard ();
   say "TIMINGS (Bechamel, ns per run via OLS)\n";
   run_group ~quota:0.25 "Table I" [ bench_table1 ];
   run_group ~quota:0.5 "Table II (criticality analysis per benchmark)"

@@ -49,6 +49,18 @@ let at_iter_arg =
   let doc = "Checkpoint boundary the analysis models." in
   Arg.(value & opt int 0 & info [ "at-iter" ] ~docv:"T" ~doc)
 
+(* --jobs rejects 0 and negatives at parse time: a pool of width 0 has
+   no meaning, and catching it in argv gives a usage error instead of a
+   late Invalid_argument out of Pool.create. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "must be >= 1 (got %d)" n))
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected a positive integer" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let jobs_arg =
   let doc =
     "Domains the analysis fans out on (default: the recommended domain
@@ -57,7 +69,7 @@ let jobs_arg =
   in
   Arg.(
     value
-    & opt int (Scvad_par.Pool.default_jobs ())
+    & opt positive_int (Scvad_par.Pool.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let dir_arg =

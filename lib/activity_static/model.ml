@@ -42,6 +42,7 @@ type t = {
   field_elements : (string, int) Hashtbl.t;  (* from var declarations *)
   local_modules : (string, unit) Hashtbl.t;
   pure_modules : (string, unit) Hashtbl.t;  (* Scalar.S functor params *)
+  param_modules : (string, unit) Hashtbl.t;  (* other functor params *)
   mutable vars : var_decl list;
   mutable notes : string list;
 }
@@ -153,8 +154,9 @@ and collect_module_expr t (me : module_expr) =
   | Pmod_structure items -> collect_structure t items
   | Pmod_functor (param, body) ->
       (match param with
-      | Named ({ Location.txt = Some pname; _ }, mty) when is_scalar_sig mty ->
-          Hashtbl.replace t.pure_modules pname ()
+      | Named ({ Location.txt = Some pname; _ }, mty) ->
+          if is_scalar_sig mty then Hashtbl.replace t.pure_modules pname ()
+          else Hashtbl.replace t.param_modules pname ()
       | _ -> ());
       collect_module_expr t body
   | Pmod_constraint (inner, _) -> collect_module_expr t inner
@@ -430,6 +432,7 @@ let of_structure ~file (items : structure) =
       field_elements = Hashtbl.create 16;
       local_modules = Hashtbl.create 16;
       pure_modules = Hashtbl.create 8;
+      param_modules = Hashtbl.create 8;
       vars = [];
       notes = [];
     }

@@ -34,6 +34,10 @@ type t = {
   pure_modules : (string, unit) Hashtbl.t;
       (** functor parameters constrained to [Scalar.S]: their operations
           are treated as pure scalar functions *)
+  param_modules : (string, unit) Hashtbl.t;
+      (** other functor parameters (e.g. IS's [O : INT_OPS]): calls
+          through them may be resolvable against a sibling in-file
+          implementation of the same signature *)
   mutable vars : var_decl list;
   mutable notes : string list;  (** extraction imprecision notes *)
 }

@@ -1,13 +1,21 @@
 (* Central finite differences: the derivative oracle used by the test
    suite to validate both AD engines against a method with no shared
-   code. *)
+   code, and by the guard falsifier to cross-check promoted elements. *)
 
 let default_step = 1e-6
 
+(* The effective step is relative for large-magnitude coordinates:
+   |x| >> 1 with an absolute step loses the perturbation to rounding
+   (x +. h = x once h < ulp x), which on BT/SP-sized values drowns the
+   difference quotient in cancellation.  For |x| <= 1 this degrades to
+   the absolute step, so small and zero coordinates keep their exact
+   historical behavior. *)
+let step ?(h = default_step) x = h *. Float.max 1.0 (Float.abs x)
+
 (* d f / d x.(i) by central difference; [x] is restored afterwards. *)
-let derivative ?(h = default_step) (f : float array -> float)
-    (x : float array) (i : int) =
+let derivative ?h (f : float array -> float) (x : float array) (i : int) =
   let saved = x.(i) in
+  let h = step ?h saved in
   x.(i) <- saved +. h;
   let fp = f x in
   x.(i) <- saved -. h;

@@ -6,9 +6,15 @@
 
 val default_step : float
 
+(** [step ?h x] is the effective step at coordinate value [x]:
+    [h *. max 1.0 (abs x)] — absolute for small coordinates, relative
+    for large ones, so the difference quotient never drowns in
+    cancellation ([h] defaults to {!default_step}). *)
+val step : ?h:float -> float -> float
+
 (** [derivative ?h f x i] ≈ ∂f/∂x{_i} at [x] by central difference with
-    step [h].  [x] is mutated during evaluation and restored before
-    returning. *)
+    the relative step [step ?h x.(i)].  [x] is mutated during evaluation
+    and restored before returning. *)
 val derivative : ?h:float -> (float array -> float) -> float array -> int -> float
 
 (** Full gradient, one {!derivative} call per coordinate. *)

@@ -249,28 +249,91 @@ let analyze_with ?(mode = Criticality.Reverse_gradient) ?(at_iter = 0) ?niter
     vars = a.float_reports @ a.int_reports;
   }
 
-let analyze ?mode ?at_iter ?niter ?jobs:(jobs = 1) ?static (module A : App.S) =
-  if jobs < 1 then invalid_arg "Analyzer.analyze: jobs must be >= 1";
-  if jobs = 1 then analyze_with ?mode ?at_iter ?niter ?static (module A)
-  else
-    Pool.with_pool ~jobs (fun pool ->
-        analyze_with ?mode ?at_iter ?niter ~pool ?static (module A))
+(* Guarded scrutiny: harden a report against the static guard pass's
+   [Control_tainted] certificates.  Variables whose dataflow escapes
+   into discrete consumers (branches, conversions, kinks) can have
+   elements the derivative calls uncritical but the output nonetheless
+   depends on; the perturbation falsifier hunts such elements over the
+   report's own analysis window and promotes every witness to critical.
+   Smooth / Unknown variables are left alone — the AD verdict is the
+   paper's criterion and the guard only overrides it where the
+   criterion is provably inapplicable. *)
+type guard_spec = {
+  g_certs : Scvad_guard.Cert.certificates;
+  g_trials : int;
+  g_seed : int;
+}
+
+let guard_harden spec (module A : App.S) (report : Criticality.report) =
+  match Scvad_guard.Cert.find_app spec.g_certs ~app:A.name with
+  | None -> report
+  | Some ac ->
+      let tainted = Scvad_guard.Cert.tainted_vars ac in
+      let targets =
+        List.filter_map
+          (fun (v : Criticality.var_report) ->
+            if not (List.mem v.Criticality.name tainted) then None
+            else begin
+              let acc = ref [] in
+              Array.iteri
+                (fun i critical -> if not critical then acc := i :: !acc)
+                v.Criticality.mask;
+              match !acc with
+              | [] -> None
+              | rev ->
+                  Some
+                    {
+                      Falsifier.t_var = v.Criticality.name;
+                      t_kind = v.Criticality.kind;
+                      t_candidates = Array.of_list (List.rev rev);
+                    }
+            end)
+          report.Criticality.vars
+      in
+      if targets = [] || spec.g_trials <= 0 then report
+      else
+        let o =
+          Falsifier.run ~boundary:report.Criticality.at_iteration
+            ~niter:report.Criticality.analyzed_until ~trials:spec.g_trials
+            ~seed:spec.g_seed ~targets
+            (module A : App.S)
+        in
+        Falsifier.harden report o.Falsifier.f_witnesses
+
+let maybe_guard guard (module A : App.S) report =
+  match guard with
+  | None -> report
+  | Some spec -> guard_harden spec (module A : App.S) report
+
+let analyze ?mode ?at_iter ?niter ?jobs:(jobs = 1) ?static ?guard
+    (module A : App.S) =
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf "Analyzer.analyze: jobs must be >= 1 (got %d)" jobs);
+  let report =
+    if jobs = 1 then analyze_with ?mode ?at_iter ?niter ?static (module A)
+    else
+      Pool.with_pool ~jobs (fun pool ->
+          analyze_with ?mode ?at_iter ?niter ~pool ?static (module A))
+  in
+  maybe_guard guard (module A) report
 
 (* Suite-level parallelism: each benchmark's analysis builds its own
    tape and state, so the eight analyses share nothing and run whole on
    separate domains.  The same pool also serves the per-analysis
    fan-outs: a nested Pool.map from inside a worker degrades to the
    sequential path, so the pool never deadlocks on itself. *)
-let analyze_suite ?mode ?at_iter ?niter ?jobs ?static apps =
+let analyze_suite ?mode ?at_iter ?niter ?jobs ?static ?guard apps =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-  if jobs < 1 then invalid_arg "Analyzer.analyze_suite: jobs must be >= 1";
-  if jobs = 1 then
-    List.map (fun app -> analyze_with ?mode ?at_iter ?niter ?static app) apps
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf "Analyzer.analyze_suite: jobs must be >= 1 (got %d)" jobs);
+  let one pool app =
+    maybe_guard guard app (analyze_with ?mode ?at_iter ?niter ?pool ?static app)
+  in
+  if jobs = 1 then List.map (one None) apps
   else
-    Pool.with_pool ~jobs (fun pool ->
-        Pool.map pool
-          (fun app -> analyze_with ?mode ?at_iter ?niter ~pool ?static app)
-          apps)
+    Pool.with_pool ~jobs (fun pool -> Pool.map pool (one (Some pool)) apps)
 
 (* Union over several checkpoint boundaries: an element is critical if
    SOME checkpoint needs it.  This is the right notion for a checkpoint

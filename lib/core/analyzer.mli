@@ -72,6 +72,21 @@ val forward_analysis :
   niter:int ->
   analysis
 
+(** Guarded scrutiny: after the AD pass, harden the report against the
+    static guard certificates.  For every variable the guard classified
+    [Control_tainted] (its dataflow escapes into branches, integer
+    conversions, or kinks — places where "derivative = 0" does not
+    imply "uncritical"), the perturbation falsifier ({!Falsifier}) runs
+    [g_trials] seeded trials over the report's analysis window on the
+    elements the masks call uncritical; every witness is promoted to
+    critical.  [Smooth] and [Unknown] variables keep their AD verdict
+    untouched. *)
+type guard_spec = {
+  g_certs : Scvad_guard.Cert.certificates;
+  g_trials : int;
+  g_seed : int;
+}
+
 (** [analyze ?mode ?at_iter ?niter ?jobs app].
 
     - [mode] (default [Reverse_gradient]): one taped run + one backward
@@ -95,13 +110,17 @@ val forward_analysis :
 
     [static] (default none) is a verdict table from the static
     activity pass; the entry matching the app (if any) pre-resolves
-    its statically-inactive variables without lifting them. *)
+    its statically-inactive variables without lifting them.
+
+    [guard] (default none) hardens the produced report — see
+    {!guard_spec}. *)
 val analyze :
   ?mode:Criticality.mode ->
   ?at_iter:int ->
   ?niter:int ->
   ?jobs:int ->
   ?static:Scvad_activity.Verdict.verdicts ->
+  ?guard:guard_spec ->
   (module App.S) ->
   Criticality.report
 
@@ -119,6 +138,7 @@ val analyze_suite :
   ?niter:int ->
   ?jobs:int ->
   ?static:Scvad_activity.Verdict.verdicts ->
+  ?guard:guard_spec ->
   (module App.S) list ->
   Criticality.report list
 

@@ -1,0 +1,67 @@
+(** Dynamic perturbation falsifier.
+
+    Attacks the paper's criterion empirically: restore to a checkpoint
+    boundary, perturb one element the reverse analysis called
+    uncritical, finish the run, compare bitwise against an unperturbed
+    continuation.  A divergence is a concrete unsoundness witness (the
+    element acts through a channel the derivative cannot see) and is
+    promoted to critical by {!harden}. *)
+
+type target = {
+  t_var : string;
+  t_kind : Criticality.kind;
+  t_candidates : int array;  (** element indices claimed uncritical *)
+}
+
+type witness = {
+  w_var : string;
+  w_kind : Criticality.kind;
+  w_element : int;
+  w_boundary : int;
+  w_delta : float;
+  w_fd : float option;
+      (** central-difference diagnostic (float witnesses only) *)
+  w_golden : float;
+  w_perturbed : float;
+      (** NaN when the perturbed continuation crashed outright (e.g. a
+          perturbed integer driving an index out of range) — the
+          starkest control escape, still a witness *)
+}
+
+type var_tally = { y_var : string; y_trials : int; y_witnesses : int }
+
+type outcome = {
+  f_app : string;
+  f_boundary : int;
+  f_niter : int;
+  f_trials : int;
+  f_stable : bool;
+      (** two unperturbed continuations agreed bitwise; when false no
+          trials ran (witnesses would be junk) *)
+  f_witnesses : witness list;
+  f_tested : var_tally list;
+}
+
+(** What the naive AD verdict calls uncritical: false-mask float
+    elements, plus (when [ints], the default) every element of every
+    integer variable in the report. *)
+val targets_of_report : ?ints:bool -> Criticality.report -> target list
+
+(** [run ~trials ~seed ~targets app] perturbs uniformly-sampled
+    candidate elements at [boundary] (default 0) and reruns to [niter]
+    (default [App.default_niter]; [boundary] may equal [niter] for
+    output-only continuations).  [h] overrides the relative
+    perturbation step.  Raises [Invalid_argument] on a boundary outside
+    [0, niter]. *)
+val run :
+  ?boundary:int ->
+  ?niter:int ->
+  ?h:float ->
+  trials:int ->
+  seed:int ->
+  targets:target list ->
+  (module App.S) ->
+  outcome
+
+(** Promote witness elements to critical; pure (fresh masks). *)
+val harden : Criticality.report -> witness list -> Criticality.report

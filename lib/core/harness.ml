@@ -186,6 +186,27 @@ let crash_restart_experiment ?report ?(poison = Failure_.Nan) ?niter ~store
   let restarted = restart_from_latest ~poison ?niter ~store (module A : App.S) in
   { golden; restarted; verified = verified ~golden ~restarted }
 
+(* One-call pruned-restart verification of a report, used by the
+   @guard-check gate: run the full §IV-C experiment with this report's
+   masks in a throwaway store under the system temp directory.  [every]
+   is a quarter of the run (at least 1) and the crash lands just after
+   the first checkpoint, so the restart genuinely exercises the pruned
+   state.  The store is wiped afterwards. *)
+let verify_report ?niter ~report (module A : App.S) =
+  let niter = Option.value niter ~default:A.default_niter in
+  if niter < 2 then invalid_arg "Harness.verify_report: need niter >= 2";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) ("scvad-verify-" ^ A.name)
+  in
+  let store = Store.create dir in
+  let every = max 1 (niter / 4) in
+  let crash_at = if every + 1 < niter then every + 1 else niter - 1 in
+  Fun.protect
+    ~finally:(fun () -> Store.wipe store)
+    (fun () ->
+      crash_restart_experiment ~report ~niter ~store ~every ~crash_at
+        (module A : App.S))
+
 (* ------------------------------------------------------------------ *)
 (* Resilient experiment                                                *)
 (* ------------------------------------------------------------------ *)

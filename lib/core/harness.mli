@@ -95,6 +95,17 @@ val crash_restart_experiment :
   (module App.S) ->
   experiment_result
 
+(** One-call pruned-restart verification of [report] (the
+    [@guard-check] gate): {!crash_restart_experiment} with a throwaway
+    store in the system temp directory, [every = max 1 (niter / 4)],
+    and the crash just after the first checkpoint.  Wipes the store
+    afterwards.  Raises [Invalid_argument] when [niter < 2]. *)
+val verify_report :
+  ?niter:int ->
+  report:Criticality.report ->
+  (module App.S) ->
+  experiment_result
+
 (** {!crash_restart_experiment} outcome plus what the resilient restart
     had to do to get there. *)
 type resilient_result = {

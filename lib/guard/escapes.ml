@@ -1,0 +1,33 @@
+(* The discrete-consumer vocabulary: unqualified callee names whose
+   application is a float-to-discrete escape when a tainted value flows
+   in.  Most of these classify as [Pure] in the activity pass — purity
+   is exactly the problem: the value's influence survives, but reverse
+   mode only sees the locally-selected piece. *)
+
+(* Comparisons: the result is a bool/ordering, so every downstream use
+   is control flow or discrete data. *)
+let compare_names =
+  [ "="; "<>"; "<"; ">"; "<="; ">="; "=="; "!="; "compare"; "equal" ]
+
+(* Conversions between int and float sever the derivative chain in both
+   directions: int_of_float discretizes a float; float_of_int re-enters
+   AD as a constant, hiding whatever arithmetic produced the int. *)
+let conversion_names =
+  [ "int_of_float"; "truncate"; "to_int"; "float_of_int"; "float"; "of_int" ]
+
+(* Kinks: continuous but non-differentiable (or piecewise) primitives.
+   Reverse mode differentiates the selected piece, so a zero derivative
+   says nothing about the unselected one. *)
+let kink_names =
+  [
+    "abs"; "abs_float"; "min"; "max"; "mod"; "mod_float"; "rem"; "floor";
+    "ceil"; "copysign";
+  ]
+
+(* [classify name] is the escape kind an application of [name] records
+   when a tainted value reaches it, if any. *)
+let classify name : Cert.escape_kind option =
+  if List.mem name compare_names then Some Cert.Compare
+  else if List.mem name conversion_names then Some Cert.Int_conversion
+  else if List.mem name kink_names then Some Cert.Kink
+  else None

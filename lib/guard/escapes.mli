@@ -1,0 +1,10 @@
+(** The discrete-consumer vocabulary: callee names whose application
+    records an escape when tainted data flows in. *)
+
+val compare_names : string list
+val conversion_names : string list
+val kink_names : string list
+
+(** Escape kind of an application of [name], if it is in the
+    vocabulary. *)
+val classify : string -> Cert.escape_kind option

@@ -1,0 +1,19 @@
+(** [(* guard: assume smooth <var> — <reason> *)] pragmas.
+
+    The only assumable class is [smooth]; the assumption is a human
+    claim that a leaked callee is straight-line scalar arithmetic.  It
+    rescues an [Unknown] certificate but does not waive the dynamic
+    obligation: assumed-Smooth variables are still falsifier-tested. *)
+
+type tag = { g_var : string }
+type t = tag Scvad_lint.Pragma.Generic.t
+
+(** Scan a source for guard pragmas; malformed ones become findings. *)
+val scan : file:string -> string -> t * Scvad_lint.Finding.t list
+
+(** Smoothness assumption covering the declaration at [line], if any
+    (marks it used); returns the stated justification. *)
+val assume : t -> var:string -> line:int -> string option
+
+(** Findings for pragmas that matched no declaration. *)
+val unused : t -> Scvad_lint.Finding.t list

@@ -133,7 +133,10 @@ module Make_sized (G : Adi_common.GRID) (S : Scvad_ad.Scalar.S) = struct
     S.(C.sum err +. C.sum rhs)
 
   let float_vars st =
-    [ Scvad_core.Variable.of_array ~name:"u"
+    [ (* guard: assume smooth u — the Block5/Btridiag solver modules are
+         straight-line Scalar.S arithmetic: fixed index ranges, no
+         data-dependent branching, so the leaked flow is smooth *)
+      Scvad_core.Variable.of_array ~name:"u"
         ~doc:"solution of the nonlinear PDE system (padded to 13 in j and i)"
         (Lazy.force A.shape4) st.u ]
 

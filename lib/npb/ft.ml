@@ -184,7 +184,10 @@ module Make_generic (S : Scvad_ad.Scalar.S) = struct
 
   let float_vars st =
     let open Scvad_core.Variable in
-    [ make ~name:"y"
+    [ (* guard: assume smooth y — the Fft/Dcomplex modules do fixed-shape
+         butterflies whose twiddle indices are iteration constants: no
+         value-dependent control flow in the leaked calls *)
+      make ~name:"y"
         ~doc:"frequency-domain signal (x padded to 65; dcomplex cells)"
         ~shape:(Scvad_nd.Shape.create [ n3; n2; xpad ])
         ~spe:2
@@ -193,6 +196,8 @@ module Make_generic (S : Scvad_ad.Scalar.S) = struct
           let c = st.y.(e) in
           st.y.(e) <- (if k = 0 then C.make v (C.im c) else C.make (C.re c) v))
         ();
+      (* guard: assume smooth sums — checksum accumulation is a plain
+         dcomplex sum; only Dcomplex arithmetic is leaked *)
       make ~name:"sums" ~doc:"per-iteration checksums (dcomplex)"
         ~shape:(Scvad_nd.Shape.create [ niter ])
         ~spe:2

@@ -254,12 +254,20 @@ module Make_sized (G : Adi_common.GRID) (S : Scvad_ad.Scalar.S) = struct
 
   let float_vars st =
     let open Scvad_core.Variable in
-    [ of_array ~name:"u" ~doc:"solution of the nonlinear PDE system"
+    [ (* guard: assume smooth u — the Block5 lower/upper sweeps are
+         straight-line Scalar.S arithmetic with fixed index ranges *)
+      of_array ~name:"u" ~doc:"solution of the nonlinear PDE system"
         (Lazy.force A.shape4) st.u;
+      (* guard: assume smooth rho_i — consumed only by smooth flux
+         arithmetic and the leaked straight-line solver sweeps *)
       of_array ~name:"rho_i" ~doc:"relaxation factor of the SSOR method"
         (Lazy.force A.shape3) st.rho_i;
+      (* guard: assume smooth qs — consumed only by smooth flux
+         arithmetic and the leaked straight-line solver sweeps *)
       of_array ~name:"qs" ~doc:"flux-difference (dynamic pressure) field"
         (Lazy.force A.shape3) st.qs;
+      (* guard: assume smooth rsd — the SSOR residual update and the
+         leaked Block5 sweeps are data-oblivious Scalar.S arithmetic *)
       of_array ~name:"rsd" ~doc:"running residual of the SSOR iteration"
         (Lazy.force A.shape4) st.rsd ]
 

@@ -87,7 +87,9 @@ let worker_loop pool () =
   loop ()
 
 let create ~jobs =
-  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf "Pool.create: jobs must be >= 1 (got %d)" jobs);
   let pool =
     {
       mu = Mutex.create ();

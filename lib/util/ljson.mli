@@ -1,8 +1,8 @@
-(** Alias of {!Scvad_util.Ljson}, the shared minimal JSON module.  The
-    type equality is exposed so values flow freely between the lint,
-    activity and guard report writers. *)
+(** Minimal JSON values — just enough to emit the lint report and parse
+    it back (the fixture suite asserts the round-trip).  No third-party
+    JSON dependency: the repo policy is stdlib + compiler-libs only. *)
 
-type t = Scvad_util.Ljson.t =
+type t =
   | Null
   | Bool of bool
   | Int of int

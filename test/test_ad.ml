@@ -415,6 +415,28 @@ let test_finite_diff_polynomial () =
   close ~eps:1e-5 "gradient.(0)" 20. g.(0);
   Alcotest.(check (float 1e-12)) "x restored" 2. x.(0)
 
+(* The effective step is relative to the coordinate's magnitude:
+   absolute below |x| = 1, scaled by |x| above it. *)
+let test_finite_diff_relative_step () =
+  Alcotest.(check (float 0.)) "absolute step for |x| <= 1" 1e-6
+    (Finite_diff.step 0.5);
+  Alcotest.(check (float 0.)) "absolute step at zero" 1e-6
+    (Finite_diff.step 0.);
+  Alcotest.(check (float 0.)) "relative step for large x" 1e6
+    (Finite_diff.step 1e12);
+  Alcotest.(check (float 0.)) "sign ignored" 1e6 (Finite_diff.step (-1e12));
+  Alcotest.(check (float 0.)) "?h override" 1e-2
+    (Finite_diff.step ~h:1e-2 0.5)
+
+(* At |x| = 1e8 an absolute 1e-6 step is below ulp(x): x +. h = x and
+   the central difference collapses to 0/0-grade cancellation.  The
+   relative step keeps the quotient accurate. *)
+let test_finite_diff_large_magnitude () =
+  let f x = x.(0) *. x.(0) in
+  let x = [| 1e8 |] in
+  close ~eps:1e2 "d(x^2)/dx at 1e8" 2e8 (Finite_diff.derivative f x 0);
+  Alcotest.(check (float 0.)) "x restored" 1e8 x.(0)
+
 (* ------------------------------------------------------------------ *)
 (* Cross-engine agreement on random expression trees (qcheck)          *)
 (* ------------------------------------------------------------------ *)
@@ -645,7 +667,11 @@ let suites =
         Alcotest.test_case "untraced subscript" `Quick
           test_itaint_untraced_subscript ] );
     ( "ad.finite_diff",
-      [ Alcotest.test_case "polynomial" `Quick test_finite_diff_polynomial ] );
+      [ Alcotest.test_case "polynomial" `Quick test_finite_diff_polynomial;
+        Alcotest.test_case "relative step" `Quick
+          test_finite_diff_relative_step;
+        Alcotest.test_case "large-magnitude coordinate" `Quick
+          test_finite_diff_large_magnitude ] );
     ("ad.properties", qcheck_cases) ]
 
 (* Structural calculus properties: linearity of the derivative and the

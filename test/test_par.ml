@@ -149,6 +149,28 @@ let test_activity_parallel_determinism () =
   in
   List.iter2 (check_var_report_equal "cg-tiny") seq.Crit.vars par.Crit.vars
 
+(* A non-positive job count is a caller bug, rejected loudly at every
+   entry point rather than hanging a pool with zero workers. *)
+let test_jobs_validated () =
+  Alcotest.check_raises "Pool.create ~jobs:0"
+    (Invalid_argument "Pool.create: jobs must be >= 1 (got 0)") (fun () ->
+      ignore (Pool.create ~jobs:0));
+  Alcotest.check_raises "Pool.with_pool ~jobs:(-3)"
+    (Invalid_argument "Pool.create: jobs must be >= 1 (got -3)") (fun () ->
+      Pool.with_pool ~jobs:(-3) (fun _ -> ()));
+  let app =
+    match Scvad_npb.Suite.find "is" with
+    | Some a -> a
+    | None -> Alcotest.fail "no is app"
+  in
+  Alcotest.check_raises "Analyzer.analyze ~jobs:0"
+    (Invalid_argument "Analyzer.analyze: jobs must be >= 1 (got 0)")
+    (fun () -> ignore (Scvad_core.Analyzer.analyze ~jobs:0 app));
+  Alcotest.check_raises "Analyzer.analyze_suite ~jobs:(-2)"
+    (Invalid_argument "Analyzer.analyze_suite: jobs must be >= 1 (got -2)")
+    (fun () ->
+      ignore (Scvad_core.Analyzer.analyze_suite ~jobs:(-2) [ app ]))
+
 let test_default_jobs_clamped () =
   let hw = Pool.hardware_threads () in
   let dj = Pool.default_jobs () in
@@ -185,6 +207,8 @@ let suites =
         Alcotest.test_case "nested map" `Quick test_nested_map;
         Alcotest.test_case "init" `Quick test_init;
         Alcotest.test_case "tasks overlap" `Quick test_map_actually_parallel;
+        Alcotest.test_case "non-positive jobs rejected everywhere" `Quick
+          test_jobs_validated;
         Alcotest.test_case "default jobs clamped to CPU budget" `Quick
           test_default_jobs_clamped ] );
     ( "par.determinism",
