@@ -64,14 +64,23 @@ type entry = {
   e_value : float;
   e_tape_nodes : int option;
   e_jobs : int option;
+  (* segmented-tape extras: the recompute-vs-store trade of a
+     memory-budgeted recording *)
+  e_budget_nodes : int option;
+  e_peak_live_nodes : int option;
+  e_replays : int option;
+  e_replayed_nodes : int option;
 }
 
 let entries : entry list ref = ref []
 
-let record ?tape_nodes ?jobs:ejobs ~group ~name ~metric value =
+let record ?tape_nodes ?jobs:ejobs ?budget_nodes ?peak_live_nodes ?replays
+    ?replayed_nodes ~group ~name ~metric value =
   entries :=
     { e_group = group; e_name = name; e_metric = metric; e_value = value;
-      e_tape_nodes = tape_nodes; e_jobs = ejobs }
+      e_tape_nodes = tape_nodes; e_jobs = ejobs; e_budget_nodes = budget_nodes;
+      e_peak_live_nodes = peak_live_nodes; e_replays = replays;
+      e_replayed_nodes = replayed_nodes }
     :: !entries
 
 let json_escape s =
@@ -113,7 +122,12 @@ let write_json () =
           (json_escape e.e_group) (json_escape e.e_name)
           (json_escape e.e_metric) e.e_value
           (field_opt "tape_nodes" e.e_tape_nodes)
-          (field_opt "jobs" e.e_jobs))
+          (String.concat ""
+             [ field_opt "jobs" e.e_jobs;
+               field_opt "budget_nodes" e.e_budget_nodes;
+               field_opt "peak_live_nodes" e.e_peak_live_nodes;
+               field_opt "replays" e.e_replays;
+               field_opt "replayed_nodes" e.e_replayed_nodes ]))
       !entries
   in
   output_string oc (String.concat ",\n" rows);
@@ -132,7 +146,7 @@ let report_of (module A : Scvad_core.App.S) =
   | Some r -> r
   | None ->
       let t0 = Unix.gettimeofday () in
-      let r = Scvad_core.Analyzer.analyze (module A) in
+      let r = Scvad_core.Analyzer.run (module A) in
       let dt = Unix.gettimeofday () -. t0 in
       if !verbose then
         Printf.eprintf "[bench] analysis %s: %.2fs (%d tape nodes)\n%!" A.name
@@ -256,7 +270,7 @@ let bench_table2 name =
   Test.make
     ~name:(Printf.sprintf "table2/analyze_%s" name)
     (Staged.stage (fun () ->
-         Sys.opaque_identity (Scvad_core.Analyzer.analyze (module A))))
+         Sys.opaque_identity (Scvad_core.Analyzer.run (module A))))
 
 (* Table III: full vs pruned checkpoint encoding. *)
 let snapshot_fn name pruned =
@@ -318,7 +332,9 @@ let bench_modes =
         ~name:(Printf.sprintf "ablation/mode_%s_cg_tiny" label)
         (Staged.stage (fun () ->
              Sys.opaque_identity
-               (Scvad_core.Analyzer.analyze ~mode (module Scvad_npb.Cg.Tiny_app)))))
+               (Scvad_core.Analyzer.run
+                  ~config:Scvad_core.Analyzer.Config.(default |> with_mode mode)
+                  (module Scvad_npb.Cg.Tiny_app)))))
     [ ("reverse", Crit.Reverse_gradient);
       ("forward", Crit.Forward_probe);
       ("activity", Crit.Activity_dependence) ]
@@ -568,7 +584,13 @@ let bench_static_prefilter () =
             when Scvad_activity.Verdict.skippable_float_vars av <> [] ->
               let wall static =
                 let t0 = Unix.gettimeofday () in
-                let r = Scvad_core.Analyzer.analyze ?static (module A) in
+                let r =
+                  Scvad_core.Analyzer.run
+                    ~config:
+                      { Scvad_core.Analyzer.Config.default with
+                        Scvad_core.Analyzer.Config.static }
+                    (module A)
+                in
                 (Unix.gettimeofday () -. t0, r.Crit.tape_nodes)
               in
               let t_full, nodes_full = wall None in
@@ -622,7 +644,13 @@ let bench_guard () =
       in
       let wall guard =
         let t0 = Unix.gettimeofday () in
-        let r = Scvad_core.Analyzer.analyze ?guard app in
+        let r =
+          Scvad_core.Analyzer.run
+            ~config:
+              { Scvad_core.Analyzer.Config.default with
+                Scvad_core.Analyzer.Config.guard }
+            app
+        in
         (Unix.gettimeofday () -. t0, r)
       in
       let t_plain, plain = wall None in
@@ -652,6 +680,55 @@ let bench_guard () =
         ((t_guarded -. t_plain) *. 1e3 /. float_of_int trials)
         promoted;
       say "%!"
+
+(* ------------------------------------------------------------------ *)
+(* Segmented tape: reverse analysis under a node budget.  Wall clock
+   (one analysis is seconds long); the quantities of interest are the
+   replay overhead the budget buys and the peak live node count, which
+   must stay at or under the budget rounded to whole slabs.  The dense
+   report is the cached one from phase 1, so the masks can be compared
+   bitwise on the spot. *)
+let bench_segmented_tape () =
+  say "-- Segmented tape (memory-budgeted reverse analysis)\n";
+  List.iter
+    (fun name ->
+      let (module A : Scvad_core.App.S) = app name in
+      let dense = report_of (module A) in
+      let budget = max 1 (dense.Crit.tape_nodes / 4) in
+      let config =
+        Scvad_core.Analyzer.Config.(default |> with_memory_budget budget)
+      in
+      let t0 = Unix.gettimeofday () in
+      let seg = Scvad_core.Analyzer.run ~config (module A) in
+      let t_seg = Unix.gettimeofday () -. t0 in
+      let masks_equal =
+        List.for_all
+          (fun (v : Crit.var_report) ->
+            (Crit.find seg v.Crit.name).Crit.mask = v.Crit.mask)
+          dense.Crit.vars
+      in
+      match seg.Crit.tape_profile with
+      | None -> say "  %-40s (no tape profile?)\n" name
+      | Some p ->
+          record ~tape_nodes:seg.Crit.tape_nodes
+            ~budget_nodes:p.Crit.t_budget_nodes
+            ~peak_live_nodes:p.Crit.t_peak_live_nodes
+            ~replays:p.Crit.t_replays ~replayed_nodes:p.Crit.t_replayed_nodes
+            ~group:"tape"
+            ~name:(name ^ "/reverse_analysis/segmented_quarter_budget")
+            ~metric:"s" t_seg;
+          say
+            "  %-40s %10.2f s, %d nodes, peak live %d (budget %d), %d \
+             replays, overhead %.2fx, masks %s\n"
+            (name ^ " segmented, budget = nodes/4")
+            t_seg seg.Crit.tape_nodes p.Crit.t_peak_live_nodes
+            p.Crit.t_budget_nodes p.Crit.t_replays
+            (1.
+            +. float_of_int p.Crit.t_replayed_nodes
+               /. float_of_int (max 1 seg.Crit.tape_nodes))
+            (if masks_equal then "bitwise-equal" else "DIVERGED"))
+    [ "cg"; "ft" ];
+  say "%!"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
@@ -692,7 +769,11 @@ let run_group ~quota name tests =
 let bench_suite_parallel () =
   let wall j =
     let t0 = Unix.gettimeofday () in
-    let rs = Scvad_core.Analyzer.analyze_suite ~jobs:j Scvad_npb.Suite.all in
+    let rs =
+      Scvad_core.Analyzer.run_suite
+        ~config:Scvad_core.Analyzer.Config.(default |> with_jobs j)
+        Scvad_npb.Suite.all
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let nodes =
       List.fold_left (fun acc (r : Crit.report) -> acc + r.Crit.tape_nodes) 0 rs
@@ -730,6 +811,7 @@ let () =
   bench_suite_parallel ();
   bench_static_prefilter ();
   bench_guard ();
+  bench_segmented_tape ();
   say "TIMINGS (Bechamel, ns per run via OLS)\n";
   run_group ~quota:0.25 "Table I" [ bench_table1 ];
   run_group ~quota:0.5 "Table II (criticality analysis per benchmark)"

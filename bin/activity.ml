@@ -48,7 +48,11 @@ let check_soundness (av : Verdict.app_verdicts) report =
    not change any mask — gate part 1 plus all-false masks for skipped
    variables imply this, so a mismatch means an analyzer bug. *)
 let check_fast_path (module A : Scvad_core.App.S) verdicts report =
-  let filtered = Scvad_core.Analyzer.analyze ~static:verdicts (module A) in
+  let filtered =
+    Scvad_core.Analyzer.run
+      ~config:Scvad_core.Analyzer.Config.(default |> with_static verdicts)
+      (module A)
+  in
   List.for_all
     (fun (v : Criticality.var_report) ->
       let f = Criticality.find filtered v.Criticality.name in
@@ -86,7 +90,7 @@ let run_gate verdicts =
   in
   List.iter
     (fun ((av : Verdict.app_verdicts), (module A : Scvad_core.App.S)) ->
-      let report = Scvad_core.Analyzer.analyze (module A) in
+      let report = Scvad_core.Analyzer.run (module A) in
       if not (check_soundness av report) then ok := false;
       if Verdict.skippable_float_vars av <> [] then
         if not (check_fast_path (module A) verdicts report) then ok := false)

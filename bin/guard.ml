@@ -79,7 +79,7 @@ let contexts (certs : Cert.certificates) =
         match Scvad_npb.Suite.find a.Cert.app with
         | Some app ->
             Some
-              { x_certs = a; x_app = app; x_report = Analyzer.analyze app }
+              { x_certs = a; x_app = app; x_report = Analyzer.run app }
         | None ->
             Printf.eprintf
               "guard: GATE VIOLATION: app %s has no registered benchmark\n"

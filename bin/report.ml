@@ -33,7 +33,7 @@ let () =
     List.map
       (fun (module A : Scvad_core.App.S) ->
         time ("analyze " ^ A.name) (fun () ->
-            ((module A : Scvad_core.App.S), Scvad_core.Analyzer.analyze (module A))))
+            ((module A : Scvad_core.App.S), Scvad_core.Analyzer.run (module A))))
       apps
   in
   print_string (Scvad_core.Report.table2 (List.map snd reports));

@@ -72,6 +72,63 @@ let jobs_arg =
     & opt positive_int (Scvad_par.Pool.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* --memory-budget accepts a node count with an optional k/M/G suffix
+   (1e3/1e6/1e9); the budget caps materialized tape storage at 24 bytes
+   per node slot, so e.g. 6M nodes is ~144 MiB of tape. *)
+let budget_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "invalid node count %S (expected e.g. 500000, 500k, 6M)" s))
+    in
+    let n = String.length s in
+    if n = 0 then fail ()
+    else
+      let mult, digits =
+        match s.[n - 1] with
+        | 'k' | 'K' -> (1_000., String.sub s 0 (n - 1))
+        | 'm' | 'M' -> (1_000_000., String.sub s 0 (n - 1))
+        | 'g' | 'G' -> (1_000_000_000., String.sub s 0 (n - 1))
+        | _ -> (1., s)
+      in
+      match float_of_string_opt digits with
+      | Some v when v *. mult >= 1. -> Ok (int_of_float (v *. mult))
+      | Some _ | None -> fail ()
+  in
+  Arg.conv ~docv:"NODES" (parse, Format.pp_print_int)
+
+let memory_budget_arg =
+  let doc =
+    "Cap materialized reverse-tape storage at $(docv) node slots (24
+     bytes each; k/M/G suffixes accepted). Discarded tape windows are
+     rebuilt by replaying iterations during the backward sweep; masks
+     are bitwise identical to the unbudgeted analysis. Reverse mode
+     only."
+  in
+  Arg.(
+    value
+    & opt (some budget_conv) None
+    & info [ "memory-budget" ] ~docv:"NODES" ~doc)
+
+let schedule_arg =
+  let schedules =
+    [ ("binomial", Scvad_ad.Tape.Segmented.Binomial);
+      ("log-stride", Scvad_ad.Tape.Segmented.Log_stride);
+      ("all-store", Scvad_ad.Tape.Segmented.All_store) ]
+  in
+  let doc =
+    "Recompute-vs-store schedule under --memory-budget: $(b,binomial)
+     (optimal re-snapshotting during replay), $(b,log-stride) (doubling
+     snapshot stride, replay from retained snapshots only), or
+     $(b,all-store) (never discard; the budget is ignored)."
+  in
+  Arg.(
+    value
+    & opt (enum schedules) Scvad_ad.Tape.Segmented.Binomial
+    & info [ "tape-schedule" ] ~doc)
+
 let dir_arg =
   let doc = "Checkpoint directory." in
   Arg.(value & opt string "_checkpoints" & info [ "dir"; "d" ] ~docv:"DIR" ~doc)
@@ -188,6 +245,15 @@ let print_report (r : Crit.report) =
     "benchmark %s: mode %s, boundary t=%d, window until %d, %d tape nodes\n"
     r.Crit.app (Crit.mode_name r.Crit.mode) r.Crit.at_iteration
     r.Crit.analyzed_until r.Crit.tape_nodes;
+  (match r.Crit.tape_profile with
+  | None -> ()
+  | Some p ->
+      Printf.printf
+        "  tape: %s schedule, budget %d nodes, %d segments, %d snapshots, \
+         %d replays (%d nodes re-pushed), peak live %d nodes\n"
+        p.Crit.t_schedule p.Crit.t_budget_nodes p.Crit.t_segments
+        p.Crit.t_snapshots p.Crit.t_replays p.Crit.t_replayed_nodes
+        p.Crit.t_peak_live_nodes);
   List.iter
     (fun v ->
       Printf.printf "  %-20s %8d critical %8d uncritical (%5.1f%%)  regions=%d\n"
@@ -197,20 +263,31 @@ let print_report (r : Crit.report) =
     r.Crit.vars
 
 let analyze_cmd =
-  let run name mode at_iter niter jobs =
+  let run name mode at_iter niter jobs memory_budget schedule =
     handle
       (Result.map
          (fun (module A : Scvad_core.App.S) ->
-           let r =
-             Scvad_core.Analyzer.analyze ~mode ~at_iter ?niter ~jobs (module A)
+           let config =
+             {
+               Scvad_core.Analyzer.Config.default with
+               Scvad_core.Analyzer.Config.mode;
+               at_iter;
+               niter;
+               jobs = Some jobs;
+               memory_budget;
+               schedule;
+             }
            in
+           let r = Scvad_core.Analyzer.run ~config (module A) in
            print_report r)
          (find_app name))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Scrutinize every element of the checkpoint variables with AD")
-    Term.(const run $ app_arg $ mode_arg $ at_iter_arg $ niter_arg $ jobs_arg)
+    Term.(
+      const run $ app_arg $ mode_arg $ at_iter_arg $ niter_arg $ jobs_arg
+      $ memory_budget_arg $ schedule_arg)
 
 (* ------------------------------------------------------------------ *)
 (* visualize                                                           *)
@@ -256,7 +333,11 @@ let visualize_cmd =
       (Result.map
          (fun (module A : Scvad_core.App.S) ->
            mkdir_p out;
-           let r = Scvad_core.Analyzer.analyze ~jobs (module A) in
+           let r =
+             Scvad_core.Analyzer.run
+               ~config:Scvad_core.Analyzer.Config.(default |> with_jobs jobs)
+               (module A)
+           in
            let selected =
              match var with
              | None -> r.Crit.vars
@@ -304,7 +385,7 @@ let checkpoint_cmd =
                ~verify_writes:(not no_verify) ?faults dir
            in
            let report =
-             if pruned then Some (Scvad_core.Analyzer.analyze (module A))
+             if pruned then Some (Scvad_core.Analyzer.run (module A))
              else None
            in
            (match
@@ -452,7 +533,9 @@ let report_cmd =
     mkdir_p out;
     let reports =
       List.combine Scvad_npb.Suite.all
-        (Scvad_core.Analyzer.analyze_suite ~jobs Scvad_npb.Suite.all)
+        (Scvad_core.Analyzer.run_suite
+           ~config:Scvad_core.Analyzer.Config.(default |> with_jobs jobs)
+           Scvad_npb.Suite.all)
     in
     print_string (Scvad_core.Report.table1 Scvad_npb.Suite.all);
     print_newline ();

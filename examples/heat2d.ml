@@ -103,7 +103,7 @@ end
 
 let () =
   Printf.printf "== heat2d: %dx%d allocated, %dx%d used\n" alloc alloc used used;
-  let report = Analyzer.analyze (module Heat) in
+  let report = Analyzer.run (module Heat) in
   let v = Criticality.find report "t" in
   Printf.printf "t: %d critical / %d uncritical of %d (%.1f%% prunable)\n\n"
     (Criticality.critical v) (Criticality.uncritical v) (Criticality.total v)

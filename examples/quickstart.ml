@@ -90,7 +90,7 @@ end
 (* 3. Scrutinize                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let report = Analyzer.analyze (module Demo)
+let report = Analyzer.run (module Demo)
 
 let () =
   Printf.printf "== scrutiny of the demo app\n";

@@ -25,7 +25,7 @@ let () =
 
   Printf.printf "== 1. scrutiny of CG's checkpoint variables\n%!";
   let t0 = Unix.gettimeofday () in
-  let report = Analyzer.analyze (module Cg.App) in
+  let report = Analyzer.run (module Cg.App) in
   Printf.printf "analysis: %.2fs, %d tape nodes\n" (Unix.gettimeofday () -. t0)
     report.Criticality.tape_nodes;
   List.iter

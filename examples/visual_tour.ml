@@ -9,7 +9,7 @@ module Viz = Scvad_viz
 
 let analyze name =
   match Scvad_npb.Suite.find name with
-  | Some (module A : Scvad_core.App.S) -> Scvad_core.Analyzer.analyze (module A)
+  | Some (module A : Scvad_core.App.S) -> Scvad_core.Analyzer.run (module A)
   | None -> failwith name
 
 let header title =

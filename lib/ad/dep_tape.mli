@@ -1,29 +1,15 @@
 (** Edges-only dependence tape (no partial derivatives; 8 bytes/node).
 
-    Shared substrate of {!Activity} and {!Itaint}.  A backward sweep
-    computes the set of nodes the output {e depends on} (reverse
-    reachability), without distinguishing zero-valued partials. *)
+    Shared substrate of {!Activity} and {!Itaint}; satisfies
+    {!Tape_intf.DEP}, so alternative dependence backends are drop-in.
+    A backward sweep computes the set of nodes the output {e depends
+    on} (reverse reachability), without distinguishing zero-valued
+    partials. *)
 
 type t
 
+(** [create ?capacity ()] makes an empty dependence tape; [capacity] is
+    a node-count growth hint. *)
 val create : ?capacity:int -> unit -> t
-val length : t -> int
-val capacity : t -> int
-val clear : t -> unit
 
-(** New independent variable node. *)
-val fresh_var : t -> int
-
-(** Unary dependence node. *)
-val push1 : t -> int -> int
-
-(** Binary dependence node. *)
-val push2 : t -> int -> int -> int
-
-type reach
-
-(** Reverse reachability from [output], one linear pass. *)
-val backward : t -> output:int -> reach
-
-(** Is the node in the output's dependence cone? *)
-val reachable : reach -> int -> bool
+include Tape_intf.DEP with type t := t

@@ -49,3 +49,29 @@ val backward : Tape.t -> t -> gradients
 (** [grad g x] is [d output / d x]; 0 if [x] is a constant or was recorded
     after the output. *)
 val grad : gradients -> t -> float
+
+(** The same front end over any {!Tape_intf.TAPE} backend.  The node
+    type is shared with the dense path, so values, captures, and
+    Variable plumbing are backend-agnostic; only recording and the
+    backward sweep go through [T].  (The dense path above is kept
+    direct rather than [Make (Tape)] to avoid functor indirection on
+    the push hot path.) *)
+module Make (T : Tape_intf.TAPE) : sig
+  (** [var tape v] introduces an independent variable on [tape]. *)
+  val var : T.t -> float -> t
+
+  val lift : T.t -> t -> t
+
+  (** Scalar structure recording onto the given tape. *)
+  module Scalar_of (_ : sig
+    val tape : T.t
+  end) : Scalar.S with type t = t
+
+  type gradients
+
+  val backward : T.t -> t -> gradients
+  val grad : gradients -> t -> float
+end
+
+(** Front end over {!Tape.Segmented} (memory-budgeted recording). *)
+module Segmented : module type of Make (Tape.Segmented)

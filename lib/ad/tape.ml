@@ -56,6 +56,10 @@ let alloc_slab ~nodes ~base =
 let default_capacity_hint = 1 lsl 16
 
 let create ?(capacity_hint = default_capacity_hint) () =
+  if capacity_hint < 0 then
+    invalid_arg
+      (Printf.sprintf "Tape.create: capacity_hint must be >= 0 (got %d)"
+         capacity_hint);
   let slab_nodes = Stdlib.max capacity_hint 16 in
   let first = alloc_slab ~nodes:slab_nodes ~base:0 in
   {
@@ -163,3 +167,538 @@ let backward t ~output =
 (* Adjoint of a node; nodes above the output (or constants, id = -1)
    cannot influence it, so their adjoint is 0. *)
 let adjoint g id = if id < 0 || id > g.upto then 0. else g.adj.{id}
+
+(* Segmented tape: same node layout, bounded live storage.
+
+   Recording keeps only a trailing window of at most [budget_slabs]
+   materialized slabs; older slabs are released to a freelist as soon as
+   replay can rebuild them (a primal snapshot at or below them exists).
+   [start_segment] marks program-step boundaries; the registered
+   [capture] hook snapshots restart state there — the paper's premise
+   that checkpoint variables are a complete restart state is exactly
+   what makes those snapshots sufficient.  [backward] sweeps slab
+   windows top-down, replaying the program from the nearest snapshot to
+   rematerialize each discarded window.  Replay is deterministic, so
+   re-pushed nodes get the ids they had during recording; watermark
+   checks at every boundary turn any divergence into an error instead
+   of a silent wrong adjoint.
+
+   Nodes pushed before the first [start_segment] (the prelude — input
+   lifting) are never replayed and must be parentless: the sweep skips
+   them (a leaf receives adjoint but propagates nothing), which is
+   enforced at push time.
+
+   The adjoint accumulator itself stays dense (8 bytes per node up to
+   the output): adjoint edges cross segment boundaries, so it cannot be
+   windowed without a second level of checkpointing.  The memory budget
+   bounds tape *node storage* (24 bytes per slot); callers size budgets
+   accordingly. *)
+module Segmented = struct
+  type schedule = All_store | Log_stride | Binomial
+
+  let schedule_to_string = function
+    | All_store -> "all-store"
+    | Log_stride -> "log-stride"
+    | Binomial -> "binomial"
+
+  let schedule_of_string = function
+    | "all-store" -> Some All_store
+    | "log-stride" -> Some Log_stride
+    | "binomial" -> Some Binomial
+    | _ -> None
+
+  type mode = Recording | Replaying
+
+  type t = {
+    sn : int; (* nodes per slab *)
+    budget_slabs : int; (* max materialized slabs *)
+    budget_nodes : int; (* as requested by the caller *)
+    schedule : schedule;
+    snapshot_slots : int;
+    mutable n : int; (* nodes recorded (or replayed) so far *)
+    mutable total : int; (* frozen recording length at backward *)
+    mutable dir : slab option array; (* slab index -> live storage *)
+    mutable free : slab list; (* detached storage for reuse *)
+    mutable live_cnt : int; (* materialized slabs *)
+    mutable live_lo : int; (* oldest materialized slab (recording) *)
+    mutable cur : slab; (* slab for node [n] when materialized *)
+    mutable cur_end : int; (* first id beyond [cur] (or a seek mark) *)
+    mutable skip : bool; (* replay outside the target window *)
+    mutable mode : mode;
+    mutable win_lo : int; (* replay target window, in slabs *)
+    mutable win_hi : int;
+    mutable capture : (unit -> unit -> unit) option;
+    mutable replay_step : (int -> unit) option;
+    mutable marks : int array; (* marks.(s) = n at boundary s *)
+    mutable nseg : int;
+    mutable snaps : (unit -> unit) option array; (* restore thunks *)
+    mutable snap_cnt : int;
+    mutable stride : int; (* log-stride retention stride *)
+    mutable plan : int list; (* binomial re-capture boundaries *)
+    mutable replays : int;
+    mutable replayed_nodes : int;
+    mutable peak_live : int; (* in slabs *)
+    mutable snapshots_taken : int;
+  }
+
+  (* Raised by a replay push that crosses above the target window: the
+     window is fully rematerialized, so the rest of the program step
+     need not run.  The aborted step leaves kernel state mid-update,
+     which is fine — the next replay restores a snapshot first, and the
+     sweep touches only tape storage. *)
+  exception Window_filled
+
+  let create ?slab_nodes ?(snapshot_slots = 32) ?(schedule = Binomial)
+      ~budget_nodes () =
+    if budget_nodes < 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Tape.Segmented.create: budget_nodes must be >= 1 (got %d)"
+           budget_nodes);
+    if snapshot_slots < 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Tape.Segmented.create: snapshot_slots must be >= 1 (got %d)"
+           snapshot_slots);
+    let sn =
+      match slab_nodes with
+      | Some s ->
+          if s < 16 then
+            invalid_arg
+              (Printf.sprintf
+                 "Tape.Segmented.create: slab_nodes must be >= 16 (got %d)" s)
+          else s
+      | None ->
+          (* Eight-or-more slabs per budget keeps replay windows coarse
+             enough to amortize a replay pass over many swept nodes. *)
+          Stdlib.max 16 (Stdlib.min default_capacity_hint (budget_nodes / 8))
+    in
+    let budget_slabs = Stdlib.max 1 (budget_nodes / sn) in
+    let first = alloc_slab ~nodes:sn ~base:0 in
+    let dir = Array.make 8 None in
+    dir.(0) <- Some first;
+    {
+      sn;
+      budget_slabs;
+      budget_nodes;
+      schedule;
+      snapshot_slots;
+      n = 0;
+      total = 0;
+      dir;
+      free = [];
+      live_cnt = 1;
+      live_lo = 0;
+      cur = first;
+      cur_end = sn;
+      skip = false;
+      mode = Recording;
+      win_lo = 0;
+      win_hi = max_int;
+      capture = None;
+      replay_step = None;
+      marks = Array.make 8 0;
+      nseg = 0;
+      snaps = Array.make 8 None;
+      snap_cnt = 0;
+      stride = 1;
+      plan = [];
+      replays = 0;
+      replayed_nodes = 0;
+      peak_live = 1;
+      snapshots_taken = 0;
+    }
+
+  let length t = t.n
+  let slab_nodes t = t.sn
+
+  let capacity t =
+    (t.live_cnt + List.length t.free) * t.sn
+
+  let reserved_bytes t = capacity t * 24
+
+  (* Materialize slab [k] (idempotent): reuse freelist storage, else
+     allocate; the slab directory doubles like the dense tape's. *)
+  let materialize t k =
+    if k >= Array.length t.dir then begin
+      let cap = ref (2 * Array.length t.dir) in
+      while k >= !cap do
+        cap := 2 * !cap
+      done;
+      let d = Array.make !cap None in
+      Array.blit t.dir 0 d 0 (Array.length t.dir);
+      t.dir <- d
+    end;
+    match t.dir.(k) with
+    | Some s -> s
+    | None ->
+        let base = k * t.sn in
+        let s =
+          match t.free with
+          | s :: rest ->
+              t.free <- rest;
+              { s with base }
+          | [] -> alloc_slab ~nodes:t.sn ~base
+        in
+        t.dir.(k) <- Some s;
+        t.live_cnt <- t.live_cnt + 1;
+        if t.live_cnt > t.peak_live then t.peak_live <- t.live_cnt;
+        s
+
+  let release t k =
+    if k < Array.length t.dir then
+      match t.dir.(k) with
+      | None -> ()
+      | Some s ->
+          t.dir.(k) <- None;
+          t.free <- s :: t.free;
+          t.live_cnt <- t.live_cnt - 1
+
+  (* Discarding recorded slabs is only sound once replay can rebuild
+     them: a program is registered, the schedule allows recompute, and
+     the boundary-0 snapshot exists. *)
+  let can_discard t =
+    t.schedule <> All_store && t.replay_step <> None && t.nseg > 0
+    && t.snap_cnt > 0
+
+  let advance_recording t =
+    let k = t.n / t.sn in
+    (* Make room first so the materialized count never exceeds the
+       budget, even transiently. *)
+    while t.live_cnt >= t.budget_slabs && can_discard t && t.live_lo < k do
+      release t t.live_lo;
+      t.live_lo <- t.live_lo + 1
+    done;
+    let s = materialize t k in
+    t.cur <- s;
+    t.cur_end <- s.base + t.sn;
+    t.skip <- false
+
+  let advance_replaying t =
+    let k = t.n / t.sn in
+    if k > t.win_hi then raise Window_filled
+    else if k >= t.win_lo then begin
+      let s = materialize t k in
+      t.cur <- s;
+      t.cur_end <- s.base + t.sn;
+      t.skip <- false
+    end
+    else begin
+      t.skip <- true;
+      t.cur_end <- (k + 1) * t.sn
+    end
+
+  let push t l dl r dr =
+    let i = t.n in
+    if
+      t.mode = Recording && t.nseg = 0 && t.replay_step <> None
+      && (l >= 0 || r >= 0)
+    then
+      invalid_arg
+        "Tape.Segmented.push: non-constant node before the first \
+         start_segment (the prelude is never replayed, so it may only \
+         hold inputs and constants)";
+    if i = t.cur_end then begin
+      match t.mode with
+      | Recording -> advance_recording t
+      | Replaying -> advance_replaying t
+    end;
+    if not t.skip then begin
+      let s = t.cur in
+      let j = i - s.base in
+      Bigarray.Array1.unsafe_set s.lhs j (Int32.of_int l);
+      Bigarray.Array1.unsafe_set s.rhs j (Int32.of_int r);
+      Bigarray.Array1.unsafe_set s.dlhs j dl;
+      Bigarray.Array1.unsafe_set s.drhs j dr
+    end;
+    t.n <- i + 1;
+    i
+
+  let fresh_var t = push t (-1) 0. (-1) 0.
+  let push1 t parent partial = push t parent partial (-1) 0.
+  let push2 t l dl r dr = push t l dl r dr
+
+  let set_program t ~capture ~replay_step =
+    if t.n > 0 then
+      invalid_arg "Tape.Segmented.set_program: tape already holds nodes";
+    t.capture <- Some capture;
+    t.replay_step <- Some replay_step
+
+  let ensure_boundary_capacity t s =
+    if s >= Array.length t.marks then begin
+      let cap = 2 * Array.length t.marks in
+      let m = Array.make cap 0 in
+      Array.blit t.marks 0 m 0 (Array.length t.marks);
+      t.marks <- m;
+      let sn = Array.make cap None in
+      Array.blit t.snaps 0 sn 0 (Array.length t.snaps);
+      t.snaps <- sn
+    end
+
+  let take_snapshot t s =
+    match t.capture with
+    | None -> ()
+    | Some cap ->
+        if t.snaps.(s) = None then begin
+          t.snaps.(s) <- Some (cap ());
+          t.snap_cnt <- t.snap_cnt + 1;
+          t.snapshots_taken <- t.snapshots_taken + 1
+        end
+
+  let start_segment t =
+    if t.mode <> Recording then
+      invalid_arg "Tape.Segmented.start_segment: tape is replaying";
+    let s = t.nseg in
+    ensure_boundary_capacity t s;
+    t.marks.(s) <- t.n;
+    t.nseg <- s + 1;
+    match t.schedule with
+    | All_store -> ()
+    | Log_stride | Binomial ->
+        if s mod t.stride = 0 then begin
+          if t.snap_cnt >= t.snapshot_slots then begin
+            (* Out of slots: double the retention stride and evict the
+               retained snapshots that fall off it (boundary 0 stays). *)
+            t.stride <- 2 * t.stride;
+            for b = 1 to s - 1 do
+              if b mod t.stride <> 0 then
+                match t.snaps.(b) with
+                | None -> ()
+                | Some _ ->
+                    t.snaps.(b) <- None;
+                    t.snap_cnt <- t.snap_cnt - 1
+            done
+          end;
+          if s mod t.stride = 0 && t.snap_cnt < t.snapshot_slots then
+            take_snapshot t s
+        end
+
+  (* Binomial forward plan: absolute boundary indices at which one
+     replay pass from [base] over [len] segments should drop snapshots,
+     with [slots] free.  Splits follow the classic recompute-vs-store
+     recurrence cost(l,c) = min_d d + cost(l-d, c-1) + cost(d, c); with
+     no slots the pass restarts from [base] every time, cost l(l-1)/2.
+     The memo is local to the call — boundary counts are tiny. *)
+  let binomial_plan ~base ~len ~slots =
+    if len <= 1 || slots <= 0 then []
+    else begin
+      let memo = Hashtbl.create 64 in
+      let rec cost l c =
+        if l <= 1 then 0
+        else if c <= 0 then l * (l - 1) / 2
+        else
+          match Hashtbl.find_opt memo (l, c) with
+          | Some (v, _) -> v
+          | None ->
+              let best = ref max_int and best_d = ref 1 in
+              for d = 1 to l - 1 do
+                let v = d + cost (l - d) (c - 1) + cost d c in
+                if v < !best then begin
+                  best := v;
+                  best_d := d
+                end
+              done;
+              Hashtbl.add memo (l, c) (!best, !best_d);
+              !best
+      in
+      let split l c =
+        ignore (cost l c);
+        match Hashtbl.find_opt memo (l, c) with
+        | Some (_, d) -> d
+        | None -> 1
+      in
+      let rec go pos l c acc =
+        if l <= 1 || c <= 0 then List.rev acc
+        else
+          let d = split l c in
+          go (pos + d) (l - d) (c - 1) ((pos + d) :: acc)
+      in
+      go base len slots []
+    end
+
+  let diverged () =
+    failwith
+      "Tape.Segmented: replay diverged from the recording (the program \
+       is not deterministic, or restart state is incomplete)"
+
+  (* Rematerialize every slab in [win_lo, win_hi]: restore the nearest
+     snapshot at or below the window, then re-run program steps with
+     pushes landing back on their recorded ids; pushes below the window
+     skip storage, pushes above it abort the pass. *)
+  let ensure_window t ~lo_node ~stop_node =
+    let all_live = ref true in
+    for k = t.win_lo to t.win_hi do
+      if k >= Array.length t.dir || t.dir.(k) = None then all_live := false
+    done;
+    if not !all_live then begin
+      let start_node = Stdlib.max (t.win_lo * t.sn) lo_node in
+      let b = ref (-1) in
+      for s = t.nseg - 1 downto 0 do
+        if !b < 0 && t.snaps.(s) <> None && t.marks.(s) <= start_node then
+          b := s
+      done;
+      if !b < 0 then
+        failwith
+          "Tape.Segmented.backward: no snapshot covers a discarded \
+           segment (set_program was not called before recording)";
+      let base = !b in
+      let restore =
+        match t.snaps.(base) with Some r -> r | None -> assert false
+      in
+      restore ();
+      t.replays <- t.replays + 1;
+      t.mode <- Replaying;
+      t.n <- t.marks.(base);
+      t.skip <- true;
+      t.cur_end <- t.n;
+      let n_start = t.n in
+      (* Segment index of the window top, for the capture plan. *)
+      let s_stop = ref base in
+      for s = base + 1 to t.nseg - 1 do
+        if t.marks.(s) <= stop_node then s_stop := s
+      done;
+      t.plan <-
+        (match t.schedule with
+        | Binomial ->
+            binomial_plan ~base ~len:(!s_stop - base)
+              ~slots:(t.snapshot_slots - t.snap_cnt)
+        | All_store | Log_stride -> []);
+      let replay = match t.replay_step with Some r -> r | None -> assert false in
+      (try
+         let s = ref base in
+         while t.n <= stop_node && !s < t.nseg do
+           if t.n <> t.marks.(!s) then diverged ();
+           (match t.plan with
+           | p :: rest when p = !s ->
+               t.plan <- rest;
+               if t.snap_cnt < t.snapshot_slots then take_snapshot t !s
+           | _ -> ());
+           replay !s;
+           if !s + 1 < t.nseg && t.n <> t.marks.(!s + 1) then diverged ();
+           incr s
+         done
+       with Window_filled -> ());
+      t.replayed_nodes <- t.replayed_nodes + (t.n - n_start);
+      for k = t.win_lo to t.win_hi do
+        if k >= Array.length t.dir || t.dir.(k) = None then
+          failwith
+            "Tape.Segmented.backward: replay did not rematerialize the \
+             window (replay produced fewer nodes than the recording)"
+      done
+    end
+
+  type nonrec adjoints = adjoints
+
+  let adjoint = adjoint
+
+  (* Dense-style reverse sweep over one materialized slab window. *)
+  let sweep_window t adj ~top_node ~lo_node =
+    for k = t.win_hi downto t.win_lo do
+      let s = match t.dir.(k) with Some s -> s | None -> assert false in
+      let base = s.base in
+      let hi = Stdlib.min (t.sn - 1) (top_node - base) in
+      let lo = Stdlib.max 0 (lo_node - base) in
+      for j = hi downto lo do
+        let a = Bigarray.Array1.unsafe_get adj (base + j) in
+        (* lint: allow float-equality — exact-zero adjoint skip, as in
+           the dense sweep: a zero contributes exactly nothing *)
+        if a <> 0. then begin
+          let l = Int32.to_int (Bigarray.Array1.unsafe_get s.lhs j) in
+          if l >= 0 then
+            Bigarray.Array1.unsafe_set adj l
+              (Bigarray.Array1.unsafe_get adj l
+              +. (a *. Bigarray.Array1.unsafe_get s.dlhs j));
+          let r = Int32.to_int (Bigarray.Array1.unsafe_get s.rhs j) in
+          if r >= 0 then
+            Bigarray.Array1.unsafe_set adj r
+              (Bigarray.Array1.unsafe_get adj r
+              +. (a *. Bigarray.Array1.unsafe_get s.drhs j))
+        end
+      done
+    done
+
+  let backward t ~output =
+    if output < 0 || output >= t.n then
+      invalid_arg "Tape.Segmented.backward: output is not a tape node";
+    let total = t.n in
+    t.total <- total;
+    (* Nodes below the first boundary are the parentless prelude: they
+       receive adjoints but propagate nothing, so the sweep stops at the
+       first watermark and their storage is never consulted. *)
+    let lo_node = if t.nseg > 0 then t.marks.(0) else 0 in
+    let adj = alloc_f64 (output + 1) in
+    Bigarray.Array1.fill adj 0.;
+    Bigarray.Array1.unsafe_set adj output 1.;
+    if output >= lo_node then begin
+      let k_hi = output / t.sn and k_lo = lo_node / t.sn in
+      let pos = ref k_hi in
+      while !pos >= k_lo do
+        t.win_hi <- !pos;
+        t.win_lo <- Stdlib.max k_lo (!pos - t.budget_slabs + 1);
+        ensure_window t ~lo_node
+          ~stop_node:(Stdlib.min output (((t.win_hi + 1) * t.sn) - 1));
+        sweep_window t adj ~top_node:output ~lo_node;
+        for k = t.win_lo to t.win_hi do
+          release t k
+        done;
+        pos := t.win_lo - 1
+      done
+    end;
+    (* Leave the tape recordable again: length restored, next push
+       rematerializes its slab. *)
+    t.n <- total;
+    t.mode <- Recording;
+    t.skip <- true;
+    t.cur_end <- total;
+    t.live_lo <- total / t.sn;
+    t.win_lo <- 0;
+    t.win_hi <- max_int;
+    { adj; upto = output }
+
+  let clear t =
+    for k = 0 to Array.length t.dir - 1 do
+      release t k
+    done;
+    Array.fill t.snaps 0 (Array.length t.snaps) None;
+    t.n <- 0;
+    t.total <- 0;
+    t.nseg <- 0;
+    t.snap_cnt <- 0;
+    t.stride <- 1;
+    t.plan <- [];
+    t.mode <- Recording;
+    t.skip <- true;
+    t.cur_end <- 0;
+    t.live_lo <- 0;
+    t.win_lo <- 0;
+    t.win_hi <- max_int;
+    t.replays <- 0;
+    t.replayed_nodes <- 0;
+    t.snapshots_taken <- 0;
+    t.peak_live <- t.live_cnt
+
+  type stats = {
+    s_schedule : schedule;
+    s_budget_nodes : int;
+    s_slab_nodes : int;
+    s_total_nodes : int;
+    s_segments : int;
+    s_snapshots : int;
+    s_replays : int;
+    s_replayed_nodes : int;
+    s_peak_live_nodes : int;
+  }
+
+  let stats t =
+    {
+      s_schedule = t.schedule;
+      s_budget_nodes = t.budget_nodes;
+      s_slab_nodes = t.sn;
+      s_total_nodes = Stdlib.max t.total t.n;
+      s_segments = t.nseg;
+      s_snapshots = t.snapshots_taken;
+      s_replays = t.replays;
+      s_replayed_nodes = t.replayed_nodes;
+      s_peak_live_nodes = t.peak_live * t.sn;
+    }
+end

@@ -7,51 +7,118 @@
     slabs, so large kernels — tens of millions of nodes — stay off the
     OCaml heap and growth never copies recorded nodes.
 
+    Both the dense tape here and {!Segmented} satisfy
+    {!Tape_intf.TAPE}, so {!Reverse} and the analyzer treat them
+    interchangeably.
+
     {!Reverse} provides the operator-overloading front end; most users
     never call [push1]/[push2] directly. *)
 
 type t
 
 (** [create ?capacity_hint ()] makes an empty tape whose slabs each hold
-    [max capacity_hint 16] nodes.  A hint covering the whole recording
-    (e.g. [App.S.tape_nodes_hint]) means exactly one slab is ever
-    allocated; an underestimate only adds further slabs of the same size
-    — recorded nodes are never copied. *)
+    [max capacity_hint 16] nodes — hints below 16 are explicitly clamped
+    up to 16, the smallest slab worth allocating.  Negative hints raise
+    [Invalid_argument].  A hint covering the whole recording (e.g.
+    [App.S.tape_nodes_hint]) means exactly one slab is ever allocated;
+    an underestimate only adds further slabs of the same size — recorded
+    nodes are never copied. *)
 val create : ?capacity_hint:int -> unit -> t
 
-(** Number of nodes currently recorded. *)
-val length : t -> int
+include Tape_intf.TAPE with type t := t
 
 (** Nodes per storage slab (the granularity of growth). *)
 val slab_nodes : t -> int
 
-(** Currently reserved node slots (a multiple of [slab_nodes t]). *)
-val capacity : t -> int
-
 (** Bytes of off-heap storage currently reserved (diagnostic). *)
 val reserved_bytes : t -> int
 
-(** Drop all nodes (slab storage is retained for reuse). *)
-val clear : t -> unit
+(** Segmented tape: the dense node layout under a memory budget.
 
-(** New independent (input) variable node; returns its id. *)
-val fresh_var : t -> int
+    Recording materializes at most [budget_nodes] worth of trailing
+    slabs; older slabs are discarded once a primal snapshot can rebuild
+    them.  The program registers two hooks with {!Segmented.set_program}
+    and marks each step boundary with {!Segmented.start_segment}; the
+    backward sweep then proceeds over slab windows top-down, replaying
+    the program from the nearest snapshot to rematerialize each
+    discarded window (Siskind–Pearlmutter binomial checkpointing
+    applied to the scrutiny tape).
 
-(** [push1 t p dp] appends a unary node with parent [p] and local partial
-    [dp]; returns the node id. *)
-val push1 : t -> int -> float -> int
+    Replay must be deterministic — re-pushed nodes must land on their
+    recorded ids.  Watermark checks at every segment boundary raise
+    [Failure] on divergence rather than produce wrong adjoints.
 
-(** [push2 t l dl r dr] appends a binary node. *)
-val push2 : t -> int -> float -> int -> float -> int
+    Nodes pushed before the first [start_segment] form the prelude
+    (input lifting): they are never replayed, so they must be
+    parentless; a non-constant prelude push raises [Invalid_argument].
 
-(** Result of a backward sweep. *)
-type adjoints
+    The budget bounds tape node storage (24 bytes per slot, rounded to
+    whole slabs).  The adjoint accumulator of a backward sweep is dense
+    regardless — adjoint edges cross segment boundaries — and costs 8
+    bytes per node up to the output. *)
+module Segmented : sig
+  (** Recompute-vs-store schedule.
 
-(** [backward t ~output] runs one reverse sweep seeded with
-    [d output / d output = 1] and returns the adjoint of every node at or
-    below [output].  Cost is one linear pass over the tape. *)
-val backward : t -> output:int -> adjoints
+      - [All_store]: never discard — degenerates to the dense tape
+        (zero replays, budget ignored).
+      - [Log_stride]: keep boundary snapshots at a stride that doubles
+        whenever the slots fill; replay from the retained snapshots
+        only.
+      - [Binomial] (default): [Log_stride] retention while recording,
+        plus re-snapshotting at binomial-optimal split points during
+        each backward replay pass. *)
+  type schedule = All_store | Log_stride | Binomial
 
-(** [adjoint g id] is [d output / d node]; 0 for constants ([id < 0]) and
-    for nodes recorded after the output. *)
-val adjoint : adjoints -> int -> float
+  val schedule_to_string : schedule -> string
+  val schedule_of_string : string -> schedule option
+
+  type t
+
+  (** [create ~budget_nodes ()] makes an empty segmented tape that
+      materializes at most [budget_nodes] node slots (rounded down to
+      whole slabs, at least one slab).  [slab_nodes] defaults to
+      [max 16 (min 65536 (budget_nodes / 8))]; explicit values below 16
+      raise [Invalid_argument], as do non-positive [budget_nodes] or
+      [snapshot_slots]. *)
+  val create :
+    ?slab_nodes:int ->
+    ?snapshot_slots:int ->
+    ?schedule:schedule ->
+    budget_nodes:int ->
+    unit ->
+    t
+
+  include Tape_intf.TAPE with type t := t
+
+  (** Nodes per storage slab. *)
+  val slab_nodes : t -> int
+
+  (** Bytes of off-heap tape storage currently reserved (diagnostic). *)
+  val reserved_bytes : t -> int
+
+  (** Register the replay hooks; must be called before any push.
+      [capture ()] snapshots restart state at the current boundary and
+      returns the thunk that restores it; [replay_step s] re-executes
+      segment [s] (the program between boundaries [s] and [s+1],
+      re-pushing the same nodes). *)
+  val set_program :
+    t -> capture:(unit -> unit -> unit) -> replay_step:(int -> unit) -> unit
+
+  (** Mark a program-step boundary.  The first call ends the prelude;
+      snapshots are taken here per the schedule. *)
+  val start_segment : t -> unit
+
+  type stats = {
+    s_schedule : schedule;
+    s_budget_nodes : int;  (** as requested at [create] *)
+    s_slab_nodes : int;
+    s_total_nodes : int;  (** recording length *)
+    s_segments : int;  (** [start_segment] boundaries *)
+    s_snapshots : int;  (** snapshots taken, including replay-time *)
+    s_replays : int;  (** replay passes during [backward] *)
+    s_replayed_nodes : int;  (** nodes re-pushed by those passes *)
+    s_peak_live_nodes : int;  (** peak materialized node slots *)
+  }
+
+  val stats : t -> stats
+end

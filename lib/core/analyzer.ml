@@ -60,6 +60,7 @@ type analysis = {
   impact_reports : Impact.var_impact list;
   int_reports : Criticality.var_report list;
   tape_nodes : int;
+  tape_profile : Criticality.tape_profile option;
 }
 
 let int_reports (module A : App.S) (int_vars : Variable.int_t list) =
@@ -132,6 +133,101 @@ let reverse_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
     impact_reports = List.map snd per_var;
     int_reports = int_reports (module A) (I.int_vars state);
     tape_nodes = Tape.length tape;
+    tape_profile = None;
+  }
+
+(* Reverse analysis under a node budget: the same lift / run / backward
+   protocol, recorded on {!Tape.Segmented}.  Each main-loop iteration of
+   the analyzed window is one tape segment; the registered capture hook
+   snapshots the checkpoint variables (floats and ints) at every
+   boundary, and the replay hook re-runs one iteration from a restored
+   boundary — the checkpointing premise ("restore + run reproduces the
+   continuation", verified bitwise by the falsifier's stability check)
+   is exactly what makes the replay deterministic.  The final segment
+   also recomputes the output reduction, so its nodes replay too. *)
+let segmented_reverse_analysis ?pool ?static ~budget_nodes ~schedule
+    (module A : App.S) ~at_iter ~niter =
+  let skips = static_skips static in
+  let module T = Tape.Segmented in
+  let tape = T.create ~schedule ~budget_nodes () in
+  let module RS = Reverse.Segmented.Scalar_of (struct
+    let tape = tape
+  end) in
+  let module I = A.Make (RS) in
+  let state = I.create () in
+  let nsteps = niter - at_iter in
+  let out = ref (Reverse.const 0.) in
+  let step s =
+    I.run state ~from:(at_iter + s) ~until:(at_iter + s + 1);
+    if s = nsteps - 1 then out := I.output state
+  in
+  let capture () =
+    let fs =
+      List.map (fun v -> (v, Variable.snapshot v)) (I.float_vars state)
+    in
+    let is =
+      List.map (fun v -> (v, Variable.int_snapshot v)) (I.int_vars state)
+    in
+    fun () ->
+      List.iter (fun (v, s) -> Variable.restore v s) fs;
+      List.iter (fun (v, s) -> Variable.int_restore v s) is
+  in
+  T.set_program tape ~capture ~replay_step:step;
+  (* Prelude: constants fold, lifts are parentless — nothing here is
+     ever replayed. *)
+  I.run state ~from:0 ~until:at_iter;
+  let fvars = I.float_vars state in
+  let snapshots =
+    List.map
+      (fun (v : RS.t Variable.t) ->
+        if List.mem v.Variable.name skips then (v, None)
+        else (v, Some (Variable.lift_capture v (Reverse.Segmented.lift tape))))
+      fvars
+  in
+  for s = 0 to nsteps - 1 do
+    T.start_segment tape;
+    step s
+  done;
+  (* [backward] replays segments, which rewinds live state to interior
+     boundaries; resolve integer criticality now, from the completed
+     run, before any replay can disturb it. *)
+  let ints = int_reports (module A) (I.int_vars state) in
+  let g = Reverse.Segmented.backward tape !out in
+  let per_var =
+    fan pool
+      (fun ((v : RS.t Variable.t), snapshot) ->
+        match snapshot with
+        | None ->
+            all_false_reports ~name:v.Variable.name ~shape:v.Variable.shape
+              ~spe:v.Variable.spe
+        | Some snapshot ->
+            let mask, magnitudes =
+              Variable.mask_and_magnitudes_of_snapshot v snapshot
+                (Reverse.Segmented.grad g)
+            in
+            ( Criticality.of_mask ~name:v.Variable.name ~shape:v.Variable.shape
+                ~spe:v.Variable.spe ~kind:Criticality.Float_var mask,
+              Impact.of_magnitudes ~name:v.Variable.name ~shape:v.Variable.shape
+                ~spe:v.Variable.spe magnitudes ))
+      snapshots
+  in
+  let st = T.stats tape in
+  {
+    float_reports = List.map fst per_var;
+    impact_reports = List.map snd per_var;
+    int_reports = ints;
+    tape_nodes = st.T.s_total_nodes;
+    tape_profile =
+      Some
+        {
+          Criticality.t_schedule = T.schedule_to_string st.T.s_schedule;
+          t_budget_nodes = st.T.s_budget_nodes;
+          t_segments = st.T.s_segments;
+          t_snapshots = st.T.s_snapshots;
+          t_replays = st.T.s_replays;
+          t_replayed_nodes = st.T.s_replayed_nodes;
+          t_peak_live_nodes = st.T.s_peak_live_nodes;
+        };
   }
 
 let activity_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
@@ -174,6 +270,7 @@ let activity_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
     impact_reports = [];
     int_reports = int_reports (module A) (I.int_vars state);
     tape_nodes = Dep_tape.length tape;
+    tape_profile = None;
   }
 
 let forward_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
@@ -220,24 +317,33 @@ let forward_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
     impact_reports = [];
     int_reports = int_reports (module A) (I.int_vars skeleton);
     tape_nodes = 0;
+    tape_profile = None;
   }
 
-let analyze_with ?(mode = Criticality.Reverse_gradient) ?(at_iter = 0) ?niter
-    ?pool ?static (module A : App.S) =
+let analyze_with ~mode ~at_iter ?niter ?pool ?static ?memory_budget ~schedule
+    (module A : App.S) =
   let niter = Option.value niter ~default:A.analysis_niter in
   if at_iter < 0 || at_iter >= niter then
-    invalid_arg "Analyzer.analyze: need 0 <= at_iter < niter";
+    invalid_arg "Analyzer.run: need 0 <= at_iter < niter";
   let static =
     Option.bind static (fun vs ->
         Scvad_activity.Verdict.find_app vs ~app:A.name)
   in
+  (* A memory budget routes reverse mode through the segmented tape.
+     The other modes ignore it: forward probing records no tape at all,
+     and the activity tape stores edges only — orders of magnitude
+     below the reverse tape that motivates the budget. *)
   let a =
-    match mode with
-    | Criticality.Reverse_gradient ->
+    match (mode, memory_budget) with
+    | Criticality.Reverse_gradient, Some budget_nodes ->
+        segmented_reverse_analysis ?pool ?static ~budget_nodes ~schedule
+          (module A)
+          ~at_iter ~niter
+    | Criticality.Reverse_gradient, None ->
         reverse_analysis ?pool ?static (module A) ~at_iter ~niter
-    | Criticality.Activity_dependence ->
+    | Criticality.Activity_dependence, _ ->
         activity_analysis ?pool ?static (module A) ~at_iter ~niter
-    | Criticality.Forward_probe ->
+    | Criticality.Forward_probe, _ ->
         forward_analysis ?pool ?static (module A) ~at_iter ~niter
   in
   {
@@ -246,6 +352,7 @@ let analyze_with ?(mode = Criticality.Reverse_gradient) ?(at_iter = 0) ?niter
     analyzed_until = niter;
     mode;
     tape_nodes = a.tape_nodes;
+    tape_profile = a.tape_profile;
     vars = a.float_reports @ a.int_reports;
   }
 
@@ -305,16 +412,71 @@ let maybe_guard guard (module A : App.S) report =
   | None -> report
   | Some spec -> guard_harden spec (module A : App.S) report
 
-let analyze ?mode ?at_iter ?niter ?jobs:(jobs = 1) ?static ?guard
-    (module A : App.S) =
+(* ------------------------------------------------------------------ *)
+(* Configuration record                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every knob the entry points accreted over time, in one value.  The
+   optional-argument spellings survive as deprecated wrappers below. *)
+module Config = struct
+  type t = {
+    mode : Criticality.mode;
+    at_iter : int;
+    niter : int option; (* None: the app's analysis_niter *)
+    jobs : int option; (* None: 1 for run, default_jobs for run_suite *)
+    static : Scvad_activity.Verdict.verdicts option;
+    guard : guard_spec option;
+    memory_budget : int option; (* tape node slots; None: dense tape *)
+    schedule : Tape.Segmented.schedule;
+  }
+
+  let default =
+    {
+      mode = Criticality.Reverse_gradient;
+      at_iter = 0;
+      niter = None;
+      jobs = None;
+      static = None;
+      guard = None;
+      memory_budget = None;
+      schedule = Tape.Segmented.Binomial;
+    }
+
+  let with_mode mode c = { c with mode }
+  let with_at_iter at_iter c = { c with at_iter }
+  let with_niter n c = { c with niter = Some n }
+  let with_jobs j c = { c with jobs = Some j }
+  let with_static s c = { c with static = Some s }
+  let with_guard g c = { c with guard = Some g }
+  let with_memory_budget b c = { c with memory_budget = Some b }
+  let with_schedule schedule c = { c with schedule }
+end
+
+let run ?(config = Config.default) (module A : App.S) =
+  let {
+    Config.mode;
+    at_iter;
+    niter;
+    jobs;
+    static;
+    guard;
+    memory_budget;
+    schedule;
+  } =
+    config
+  in
+  let jobs = Option.value jobs ~default:1 in
   if jobs < 1 then
     invalid_arg
-      (Printf.sprintf "Analyzer.analyze: jobs must be >= 1 (got %d)" jobs);
+      (Printf.sprintf "Analyzer.run: jobs must be >= 1 (got %d)" jobs);
   let report =
-    if jobs = 1 then analyze_with ?mode ?at_iter ?niter ?static (module A)
+    if jobs = 1 then
+      analyze_with ~mode ~at_iter ?niter ?static ?memory_budget ~schedule
+        (module A)
     else
       Pool.with_pool ~jobs (fun pool ->
-          analyze_with ?mode ?at_iter ?niter ~pool ?static (module A))
+          analyze_with ~mode ~at_iter ?niter ~pool ?static ?memory_budget
+            ~schedule (module A))
   in
   maybe_guard guard (module A) report
 
@@ -323,13 +485,27 @@ let analyze ?mode ?at_iter ?niter ?jobs:(jobs = 1) ?static ?guard
    separate domains.  The same pool also serves the per-analysis
    fan-outs: a nested Pool.map from inside a worker degrades to the
    sequential path, so the pool never deadlocks on itself. *)
-let analyze_suite ?mode ?at_iter ?niter ?jobs ?static ?guard apps =
+let run_suite ?(config = Config.default) apps =
+  let {
+    Config.mode;
+    at_iter;
+    niter;
+    jobs;
+    static;
+    guard;
+    memory_budget;
+    schedule;
+  } =
+    config
+  in
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   if jobs < 1 then
     invalid_arg
-      (Printf.sprintf "Analyzer.analyze_suite: jobs must be >= 1 (got %d)" jobs);
+      (Printf.sprintf "Analyzer.run_suite: jobs must be >= 1 (got %d)" jobs);
   let one pool app =
-    maybe_guard guard app (analyze_with ?mode ?at_iter ?niter ?pool ?static app)
+    maybe_guard guard app
+      (analyze_with ~mode ~at_iter ?niter ?pool ?static ?memory_budget
+         ~schedule app)
   in
   if jobs = 1 then List.map (one None) apps
   else
@@ -340,15 +516,14 @@ let analyze_suite ?mode ?at_iter ?niter ?jobs ?static ?guard apps =
    policy that prunes with one mask at every interval (cf. IS, whose
    key_array matters mid-run while bucket_ptrs matters just before the
    final verification). *)
-let analyze_boundaries ?mode ~boundaries ?niter ?jobs ?static
-    (module A : App.S) =
+let run_boundaries ?(config = Config.default) ~boundaries (module A : App.S) =
   match boundaries with
-  | [] -> invalid_arg "Analyzer.analyze_boundaries: no boundaries"
+  | [] -> invalid_arg "Analyzer.run_boundaries: no boundaries"
   | first :: _ ->
       let reports =
         List.map
           (fun at_iter ->
-            analyze ?mode ~at_iter ?niter ?jobs ?static (module A))
+            run ~config:{ config with Config.at_iter } (module A))
           boundaries
       in
       let union_var (a : Criticality.var_report) (b : Criticality.var_report) =
@@ -372,6 +547,35 @@ let analyze_boundaries ?mode ~boundaries ?niter ?jobs ?static
         tape_nodes =
           List.fold_left (fun acc r -> acc + r.Criticality.tape_nodes) 0 reports;
       }
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated optional-argument spellings (one release of grace)       *)
+(* ------------------------------------------------------------------ *)
+
+let config_of_options ?mode ?at_iter ?niter ?jobs ?static ?guard () =
+  {
+    Config.default with
+    Config.mode = Option.value mode ~default:Config.default.Config.mode;
+    at_iter = Option.value at_iter ~default:0;
+    niter;
+    jobs;
+    static;
+    guard;
+  }
+
+let analyze ?mode ?at_iter ?niter ?jobs ?static ?guard app =
+  run ~config:(config_of_options ?mode ?at_iter ?niter ?jobs ?static ?guard ())
+    app
+
+let analyze_suite ?mode ?at_iter ?niter ?jobs ?static ?guard apps =
+  run_suite
+    ~config:(config_of_options ?mode ?at_iter ?niter ?jobs ?static ?guard ())
+    apps
+
+let analyze_boundaries ?mode ~boundaries ?niter ?jobs ?static app =
+  run_boundaries
+    ~config:(config_of_options ?mode ?niter ?jobs ?static ())
+    ~boundaries app
 
 (* Impact magnitudes (reverse mode only): the input of the
    mixed-precision checkpoint planner. *)

@@ -27,6 +27,8 @@ type analysis = {
   impact_reports : Impact.var_impact list;
   int_reports : Criticality.var_report list;
   tape_nodes : int;
+  tape_profile : Criticality.tape_profile option;
+      (** set only by {!segmented_reverse_analysis} *)
 }
 
 (** One taped run + one backward sweep for all elements (what Enzyme
@@ -44,6 +46,26 @@ type analysis = {
 val reverse_analysis :
   ?pool:Scvad_par.Pool.t ->
   ?static:Scvad_activity.Verdict.app_verdicts ->
+  (module App.S) ->
+  at_iter:int ->
+  niter:int ->
+  analysis
+
+(** {!reverse_analysis} under a node budget, recorded on
+    {!Scvad_ad.Tape.Segmented}: at most [budget_nodes] tape slots are
+    materialized at any moment.  Each main-loop iteration of the
+    analyzed window becomes one tape segment; checkpoint variables
+    (floats and ints) are snapshotted at segment boundaries per the
+    schedule, and the backward sweep replays iterations from restored
+    boundaries to rebuild discarded tape windows.  Masks and impact
+    magnitudes are bitwise identical to the dense analysis; the
+    returned [tape_profile] accounts for the recompute-vs-store trade
+    (segments, snapshots, replays, peak live nodes). *)
+val segmented_reverse_analysis :
+  ?pool:Scvad_par.Pool.t ->
+  ?static:Scvad_activity.Verdict.app_verdicts ->
+  budget_nodes:int ->
+  schedule:Scvad_ad.Tape.Segmented.schedule ->
   (module App.S) ->
   at_iter:int ->
   niter:int ->
@@ -87,33 +109,99 @@ type guard_spec = {
   g_seed : int;
 }
 
-(** [analyze ?mode ?at_iter ?niter ?jobs app].
+(** Analysis configuration: every knob of the engine in one value.
 
-    - [mode] (default [Reverse_gradient]): one taped run + one backward
-      sweep for all elements.  [Forward_probe] re-runs the application
-      once per element with a dual-number seed (the naive reading of
-      "inspect every single element"; oracle and ablation).
-      [Activity_dependence] tracks reachability only — cheaper, but a
-      zero-valued partial still counts as a dependence.
-    - [at_iter] (default 0): the checkpoint boundary.
-    - [niter] (default the app's [analysis_niter]): end of the analyzed
-      window.  Must satisfy [0 <= at_iter < niter].
-    - [jobs] (default 1): width of the transient domain pool the
-      analysis fans out on; 1 means fully sequential.  The produced
-      report is identical for every [jobs].
+    Build one by overriding {!Config.default}, either with a record
+    update or the [with_*] combinators:
 
-    A window shorter than the true remaining run is conservative for
-    elements that the unanalyzed iterations would overwrite, and all
-    eight NPB kernels have iteration-invariant access patterns, so the
-    short default windows reproduce the full-run answer (asserted by
-    the test suite).
+    {[
+      Analyzer.Config.(
+        default |> with_at_iter 1 |> with_jobs 4
+        |> with_memory_budget 1_000_000)
+    ]} *)
+module Config : sig
+  type t = {
+    mode : Criticality.mode;
+        (** [Reverse_gradient] (default): one taped run + one backward
+            sweep for all elements.  [Forward_probe] re-runs the
+            application once per element with a dual-number seed
+            (oracle and ablation).  [Activity_dependence] tracks
+            reachability only — cheaper, but a zero-valued partial
+            still counts as a dependence. *)
+    at_iter : int;  (** checkpoint boundary (default 0) *)
+    niter : int option;
+        (** end of the analyzed window (default the app's
+            [analysis_niter]); must satisfy [0 <= at_iter < niter].  A
+            window shorter than the true remaining run is conservative
+            for elements the unanalyzed iterations would overwrite, and
+            all eight NPB kernels have iteration-invariant access
+            patterns, so the short default windows reproduce the
+            full-run answer (asserted by the test suite). *)
+    jobs : int option;
+        (** width of the transient domain pool the analysis fans out
+            on; 1 means fully sequential.  Default 1 for {!run},
+            [Scvad_par.Pool.default_jobs ()] for {!run_suite}.  The
+            produced report is bitwise identical for every [jobs]. *)
+    static : Scvad_activity.Verdict.verdicts option;
+        (** verdict table from the static activity pass; the entry
+            matching the app (if any) pre-resolves its
+            statically-inactive variables without lifting them *)
+    guard : guard_spec option;
+        (** harden the produced report — see {!guard_spec} *)
+    memory_budget : int option;
+        (** cap on materialized tape node slots (24 bytes each).  Set:
+            reverse-mode analyses record on {!Scvad_ad.Tape.Segmented}
+            — discarded tape windows are rebuilt by replaying
+            iterations during the backward sweep — and the report
+            carries a [tape_profile].  Unset (default): the dense tape
+            stores every node.  Ignored by the forward and activity
+            modes, whose memory use does not motivate a budget. *)
+    schedule : Scvad_ad.Tape.Segmented.schedule;
+        (** recompute-vs-store schedule under [memory_budget]
+            (default [Binomial]) *)
+  }
 
-    [static] (default none) is a verdict table from the static
-    activity pass; the entry matching the app (if any) pre-resolves
-    its statically-inactive variables without lifting them.
+  val default : t
+  val with_mode : Criticality.mode -> t -> t
+  val with_at_iter : int -> t -> t
+  val with_niter : int -> t -> t
+  val with_jobs : int -> t -> t
+  val with_static : Scvad_activity.Verdict.verdicts -> t -> t
+  val with_guard : guard_spec -> t -> t
+  val with_memory_budget : int -> t -> t
+  val with_schedule : Scvad_ad.Tape.Segmented.schedule -> t -> t
+end
 
-    [guard] (default none) hardens the produced report — see
-    {!guard_spec}. *)
+(** [run ?config app] analyzes one benchmark under [config] (default
+    {!Config.default}). *)
+val run : ?config:Config.t -> (module App.S) -> Criticality.report
+
+(** [run_suite ?config apps] analyzes every benchmark of [apps] and
+    returns the reports in input order.  Each analysis builds its own
+    tape and state, so whole analyses run in parallel on a pool of
+    [config.jobs] domains (default [Scvad_par.Pool.default_jobs ()] —
+    the recommended domain count clamped to the container's CPU quota);
+    the same pool serves the per-analysis fan-outs.  Reports are
+    bitwise identical for every [jobs]. *)
+val run_suite :
+  ?config:Config.t -> (module App.S) list -> Criticality.report list
+
+(** Union over several checkpoint boundaries: an element is critical if
+    {e some} checkpoint needs it — the right mask for a policy that
+    prunes with a single region set at every interval.  [config.at_iter]
+    is ignored; the result's [at_iteration] is the first boundary and
+    [tape_nodes] is the total. *)
+val run_boundaries :
+  ?config:Config.t ->
+  boundaries:int list ->
+  (module App.S) ->
+  Criticality.report
+
+(** {1 Deprecated entry points}
+
+    The optional-argument spellings that {!Config} replaces; thin
+    wrappers kept for one release. *)
+
 val analyze :
   ?mode:Criticality.mode ->
   ?at_iter:int ->
@@ -123,15 +211,8 @@ val analyze :
   ?guard:guard_spec ->
   (module App.S) ->
   Criticality.report
+[@@ocaml.deprecated "use Analyzer.run with an Analyzer.Config instead"]
 
-(** [analyze_suite ?mode ?at_iter ?niter ?jobs apps] analyzes every
-    benchmark of [apps] and returns the reports in input order.  Each
-    analysis builds its own tape and state, so whole analyses run in
-    parallel on a pool of [jobs] domains (default
-    [Scvad_par.Pool.default_jobs ()] — the recommended domain count
-    clamped to the container's CPU quota); the same pool serves the
-    per-analysis fan-outs.
-    Reports are bitwise identical for every [jobs]. *)
 val analyze_suite :
   ?mode:Criticality.mode ->
   ?at_iter:int ->
@@ -141,11 +222,8 @@ val analyze_suite :
   ?guard:guard_spec ->
   (module App.S) list ->
   Criticality.report list
+[@@ocaml.deprecated "use Analyzer.run_suite with an Analyzer.Config instead"]
 
-(** Union over several checkpoint boundaries: an element is critical if
-    {e some} checkpoint needs it — the right mask for a policy that
-    prunes with a single region set at every interval.  The result's
-    [at_iteration] is the first boundary; [tape_nodes] is the total. *)
 val analyze_boundaries :
   ?mode:Criticality.mode ->
   boundaries:int list ->
@@ -154,6 +232,8 @@ val analyze_boundaries :
   ?static:Scvad_activity.Verdict.verdicts ->
   (module App.S) ->
   Criticality.report
+[@@ocaml.deprecated
+  "use Analyzer.run_boundaries with an Analyzer.Config instead"]
 
 (** Impact magnitudes |d output / d element| from the same reverse
     pass — the input of the mixed-precision checkpoint planner

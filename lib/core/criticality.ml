@@ -29,12 +29,27 @@ let mode_name = function
   | Forward_probe -> "forward-probe"
   | Activity_dependence -> "activity-dependence"
 
+(* How the recording was held in memory.  [None] means the dense tape
+   (everything stored); [Some p] means the segmented tape ran under a
+   node budget and [p] accounts for the recompute-vs-store trade the
+   schedule made. *)
+type tape_profile = {
+  t_schedule : string; (* "binomial" | "log-stride" | "all-store" *)
+  t_budget_nodes : int;
+  t_segments : int;
+  t_snapshots : int;
+  t_replays : int;
+  t_replayed_nodes : int;
+  t_peak_live_nodes : int;
+}
+
 type report = {
   app : string;
   at_iteration : int; (* checkpoint boundary the analysis models *)
   analyzed_until : int; (* main-loop iterations covered *)
   mode : mode;
   tape_nodes : int; (* size of the recorded data-flow graph *)
+  tape_profile : tape_profile option; (* memory-budgeted recording? *)
   vars : var_report list;
 }
 

@@ -31,12 +31,29 @@ type mode = Reverse_gradient | Forward_probe | Activity_dependence
 
 val mode_name : mode -> string
 
+(** How the recording was held in memory.  [None] on {!report} means
+    the dense tape stored every node; [Some p] means the segmented tape
+    ran under [p.t_budget_nodes] and the fields account for the
+    recompute-vs-store trade: [t_peak_live_nodes] never exceeds the
+    budget (rounded to whole slabs) and [t_replayed_nodes] is the extra
+    recomputation the backward sweep paid for it. *)
+type tape_profile = {
+  t_schedule : string;  (** ["binomial"] | ["log-stride"] | ["all-store"] *)
+  t_budget_nodes : int;
+  t_segments : int;
+  t_snapshots : int;
+  t_replays : int;
+  t_replayed_nodes : int;
+  t_peak_live_nodes : int;
+}
+
 type report = {
   app : string;
   at_iteration : int;  (** checkpoint boundary the analysis models *)
   analyzed_until : int;  (** main-loop iterations covered *)
   mode : mode;
   tape_nodes : int;  (** recorded data-flow graph size *)
+  tape_profile : tape_profile option;  (** memory-budgeted recording? *)
   vars : var_report list;
 }
 

@@ -96,31 +96,11 @@ let run ?boundary ?niter ?h ~trials ~seed ~targets (module A : App.S) =
   I.run state ~from:0 ~until:boundary;
   let fvars = I.float_vars state and ivars = I.int_vars state in
   (* Boundary snapshot: every scalar of every checkpoint variable. *)
-  let fsnap =
-    List.map
-      (fun (v : float Variable.t) ->
-        ( v,
-          Array.init (Variable.scalars v) (fun k ->
-              v.Variable.get (k / v.Variable.spe) (k mod v.Variable.spe)) ))
-      fvars
-  in
-  let isnap =
-    List.map
-      (fun (v : Variable.int_t) ->
-        (v, Array.init (Variable.int_elements v) v.Variable.iget))
-      ivars
-  in
+  let fsnap = List.map (fun v -> (v, Variable.snapshot v)) fvars in
+  let isnap = List.map (fun v -> (v, Variable.int_snapshot v)) ivars in
   let restore () =
-    List.iter
-      (fun ((v : float Variable.t), snap) ->
-        Array.iteri
-          (fun k x -> v.Variable.set (k / v.Variable.spe) (k mod v.Variable.spe) x)
-          snap)
-      fsnap;
-    List.iter
-      (fun ((v : Variable.int_t), snap) ->
-        Array.iteri (fun i x -> v.Variable.iset i x) snap)
-      isnap
+    List.iter (fun (v, snap) -> Variable.restore v snap) fsnap;
+    List.iter (fun (v, snap) -> Variable.int_restore v snap) isnap
   in
   let continuation () =
     I.run state ~from:boundary ~until:niter;

@@ -65,6 +65,19 @@ let lift_capture v f =
       v.set e k x;
       x)
 
+(* Boundary snapshot/restore: every scalar of the variable, element-major
+   ([spe] slots per element).  This is the in-memory checkpoint the
+   falsifier and the segmented tape's replay both rely on: restoring the
+   snapshot and re-running from the boundary must reproduce the
+   continuation (the checkpointing premise itself). *)
+let snapshot v =
+  Array.init (scalars v) (fun k -> v.get (k / v.spe) (k mod v.spe))
+
+let restore v snap =
+  if Array.length snap <> scalars v then
+    invalid_arg "Variable.restore: snapshot length does not match variable";
+  Array.iteri (fun k x -> v.set (k / v.spe) (k mod v.spe) x) snap
+
 (* Criticality mask over a {!lift_capture} snapshot: an element is
    critical as soon as any of its scalar slots matters. *)
 let element_mask_of_snapshot v snapshot judge =
@@ -117,6 +130,12 @@ type int_t = {
 
 let int_elements v = Scvad_nd.Shape.size v.ishape
 let int_payload_bytes v = 8 * int_elements v
+let int_snapshot v = Array.init (int_elements v) v.iget
+
+let int_restore v snap =
+  if Array.length snap <> int_elements v then
+    invalid_arg "Variable.int_restore: snapshot length does not match variable";
+  Array.iteri v.iset snap
 
 let int_of_ref ~name ?(doc = "") ~crit (r : int ref) =
   {

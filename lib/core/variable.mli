@@ -47,6 +47,15 @@ val make :
     checkpointed — the ones lifted here. *)
 val lift_capture : 'a t -> ('a -> 'a) -> 'a array
 
+(** Boundary snapshot: every scalar, element-major ([spe] slots per
+    element).  Together with {!restore} this is the in-memory checkpoint
+    used by the falsifier's trials and the segmented tape's replay. *)
+val snapshot : 'a t -> 'a array
+
+(** Write a {!snapshot} back; raises [Invalid_argument] on a length
+    mismatch. *)
+val restore : 'a t -> 'a array -> unit
+
 (** Per-element criticality over a {!lift_capture} snapshot: an element
     is critical as soon as any of its scalar slots satisfies [judge]. *)
 val element_mask_of_snapshot : 'a t -> 'a array -> ('a -> bool) -> bool array
@@ -81,6 +90,11 @@ type int_t = {
 
 val int_elements : int_t -> int
 val int_payload_bytes : int_t -> int
+
+(** Integer analogue of {!snapshot} / {!restore}. *)
+val int_snapshot : int_t -> int array
+
+val int_restore : int_t -> int array -> unit
 
 val int_of_ref :
   name:string -> ?doc:string -> crit:int_criticality -> int ref -> int_t

@@ -138,7 +138,12 @@ let prop_ep_buffer_uncritical =
     (fun (at_iter, window) ->
       let (module A) = ep_app () in
       let niter = at_iter + window in
-      let r = Analyzer.analyze ~at_iter ~niter (module A) in
+      let r =
+        Analyzer.run
+          ~config:
+            Analyzer.Config.(default |> with_at_iter at_iter |> with_niter niter)
+          (module A)
+      in
       let buffer = Criticality.find r "buffer" in
       (* The static claim must hold at every boundary, not just the
          default analysis window. *)
@@ -151,8 +156,13 @@ let prop_ep_fast_path_equal =
       let (module A) = ep_app () in
       let vs, _ = verdicts () in
       let niter = at_iter + 1 in
-      let full = Analyzer.analyze ~at_iter ~niter (module A) in
-      let fast = Analyzer.analyze ~at_iter ~niter ~static:vs (module A) in
+      let cfg =
+        Analyzer.Config.(default |> with_at_iter at_iter |> with_niter niter)
+      in
+      let full = Analyzer.run ~config:cfg (module A) in
+      let fast =
+        Analyzer.run ~config:(Analyzer.Config.with_static vs cfg) (module A)
+      in
       List.for_all
         (fun (v : Criticality.var_report) ->
           (Criticality.find fast v.Criticality.name).Criticality.mask
@@ -166,8 +176,10 @@ let prop_ep_fast_path_equal =
 let test_fast_path_tape_reduction () =
   let vs, _ = verdicts () in
   let (module A) = ep_app () in
-  let full = Analyzer.analyze (module A) in
-  let fast = Analyzer.analyze ~static:vs (module A) in
+  let full = Analyzer.run (module A) in
+  let fast =
+    Analyzer.run ~config:Analyzer.Config.(default |> with_static vs) (module A)
+  in
   (* buffer has 2*2^16 elements; skipping its lift removes exactly that
      many variable nodes from the tape. *)
   Alcotest.(check int) "tape nodes saved" 131072

@@ -81,7 +81,7 @@ let mask_of_report report vname =
   (Criticality.find report vname).Criticality.mask
 
 let test_reverse_toy () =
-  let r = Analyzer.analyze (module Toy) in
+  let r = Analyzer.run (module Toy) in
   Alcotest.(check (array bool)) "a mask" expected_mask (mask_of_report r "a");
   Alcotest.(check (array bool)) "acc mask" [| true |] (mask_of_report r "acc");
   Alcotest.(check (array bool)) "it mask" [| true |] (mask_of_report r "it");
@@ -93,11 +93,12 @@ let test_reverse_toy () =
   Alcotest.(check bool) "tape recorded" true (r.Criticality.tape_nodes > 0)
 
 let test_modes_agree_on_toy () =
-  let reverse = Analyzer.analyze ~mode:Criticality.Reverse_gradient (module Toy) in
-  let forward = Analyzer.analyze ~mode:Criticality.Forward_probe (module Toy) in
-  let activity =
-    Analyzer.analyze ~mode:Criticality.Activity_dependence (module Toy)
+  let by_mode m =
+    Analyzer.run ~config:Analyzer.Config.(default |> with_mode m) (module Toy)
   in
+  let reverse = by_mode Criticality.Reverse_gradient in
+  let forward = by_mode Criticality.Forward_probe in
+  let activity = by_mode Criticality.Activity_dependence in
   List.iter
     (fun name ->
       Alcotest.(check (array bool))
@@ -113,12 +114,20 @@ let test_modes_agree_on_toy () =
 let test_analyze_mid_run () =
   (* Lifting at a later checkpoint boundary must not change the
      pattern (access patterns are iteration-invariant). *)
-  let r = Analyzer.analyze ~at_iter:3 ~niter:5 (module Toy) in
+  let r =
+    Analyzer.run
+      ~config:Analyzer.Config.(default |> with_at_iter 3 |> with_niter 5)
+      (module Toy)
+  in
   Alcotest.(check (array bool)) "a mask at t=3" expected_mask
     (mask_of_report r "a")
 
 let test_analyze_bad_args () =
-  match Analyzer.analyze ~at_iter:5 ~niter:2 (module Toy) with
+  match
+    Analyzer.run
+      ~config:Analyzer.Config.(default |> with_at_iter 5 |> with_niter 2)
+      (module Toy)
+  with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
 
@@ -146,7 +155,7 @@ let test_crash_restart_full () =
 
 let test_crash_restart_pruned_poisoned () =
   with_store (fun store ->
-      let report = Analyzer.analyze (module Toy) in
+      let report = Analyzer.run (module Toy) in
       let e =
         Harness.crash_restart_experiment ~report ~store ~every:2 ~crash_at:5
           ~poison:Scvad_checkpoint.Failure.Nan (module Toy)
@@ -158,7 +167,7 @@ let test_pruned_restore_poisons_uncritical () =
   let module I = Toy.Make (Float_scalar) in
   let st = I.create () in
   I.run st ~from:0 ~until:3;
-  let report = Analyzer.analyze (module Toy) in
+  let report = Analyzer.run (module Toy) in
   let file =
     Pruned.snapshot ~report ~app:"toy" ~iteration:3
       ~float_vars:(I.float_vars st) ~int_vars:(I.int_vars st) ()
@@ -181,7 +190,7 @@ let test_pruned_restore_poisons_uncritical () =
   Alcotest.(check bool) "a[9] poisoned" true (Float.is_nan (a2.V.get 9 0))
 
 let test_storage_accounting () =
-  let report = Analyzer.analyze (module Toy) in
+  let report = Analyzer.run (module Toy) in
   let row = Report.table3_row (module Toy) report in
   (* full: a (10) + acc (1) + it (1) = 12 scalars *)
   Alcotest.(check int) "original bytes" (12 * 8) row.Report.original_bytes;
@@ -193,7 +202,7 @@ let test_storage_accounting () =
     (Report.saved_rate row)
 
 let test_report_rendering () =
-  let report = Analyzer.analyze (module Toy) in
+  let report = Analyzer.run (module Toy) in
   let t1 = Report.table1 [ (module Toy) ] in
   Alcotest.(check bool) "table1 lists a" true
     (Astring.String.is_infix ~affix:"double a[10]" t1);

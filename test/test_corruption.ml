@@ -57,7 +57,7 @@ let test_critical_corruption_detected () =
 (* Every element the analysis calls uncritical is corruption-immune:
    exhaustive check on CG (only 2 such elements) and sampled on BT. *)
 let test_cg_all_uncritical_immune () =
-  let report = Analyzer.analyze (module Npb.Cg.App) in
+  let report = Analyzer.run (module Npb.Cg.App) in
   let mask = (Criticality.find report "x").Criticality.mask in
   Array.iteri
     (fun e critical ->
@@ -73,7 +73,7 @@ let test_cg_all_uncritical_immune () =
     mask
 
 let test_bt_sampled_uncritical_immune () =
-  let report = Analyzer.analyze (module Npb.Bt.App) in
+  let report = Analyzer.run (module Npb.Bt.App) in
   let mask = (Criticality.find report "u").Criticality.mask in
   let uncritical =
     Array.to_list

@@ -71,9 +71,11 @@ let prop_young_optimal =
 
 let test_union_invariant_app () =
   (* On a boundary-invariant app the union equals any single boundary. *)
-  let single = Analyzer.analyze (module Scvad_npb.Bt.App) in
+  let single = Analyzer.run (module Scvad_npb.Bt.App) in
   let union =
-    Analyzer.analyze_boundaries ~boundaries:[ 0; 1 ] ~niter:2
+    Analyzer.run_boundaries
+      ~config:Analyzer.Config.(default |> with_niter 2)
+      ~boundaries:[ 0; 1 ]
       (module Scvad_npb.Bt.App)
   in
   Alcotest.(check (array bool)) "same mask"
@@ -84,7 +86,7 @@ let test_union_invariant_app () =
 
 let test_union_empty_rejected () =
   match
-    Analyzer.analyze_boundaries ~boundaries:[] (module Scvad_npb.Bt.App)
+    Analyzer.run_boundaries ~boundaries:[] (module Scvad_npb.Bt.App)
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
@@ -132,7 +134,7 @@ let with_store f =
       Unix.rmdir dir)
     (fun () -> f store)
 
-let cg_report = lazy (Analyzer.analyze (module Scvad_npb.Cg.App))
+let cg_report = lazy (Analyzer.run (module Scvad_npb.Cg.App))
 
 let prop_crash_anywhere_verifies =
   QCheck.Test.make ~count:12
@@ -179,7 +181,7 @@ let suites =
    exactly the finest level of u (66^3) and the restriction read set of
    r (65^3). *)
 let test_mg_class_w_pattern () =
-  let r = Analyzer.analyze (module Scvad_npb.Mg.App_w) in
+  let r = Analyzer.run (module Scvad_npb.Mg.App_w) in
   let u = Criticality.find r "u" and rr = Criticality.find r "r" in
   Alcotest.(check int) "u total" 334_408 (Criticality.total u);
   Alcotest.(check int) "u critical = 66^3" (66 * 66 * 66)
@@ -188,7 +190,7 @@ let test_mg_class_w_pattern () =
     (Criticality.critical rr)
 
 let test_cg_class_w_reference () =
-  let r = Analyzer.analyze (module Scvad_npb.Cg.App_w) in
+  let r = Analyzer.run (module Scvad_npb.Cg.App_w) in
   Alcotest.(check int) "2 uncritical at any size" 2
     (Criticality.uncritical (Criticality.find r "x"));
   let g = Harness.golden_run (module Scvad_npb.Cg.App_w) in
@@ -222,7 +224,7 @@ let lu_u_uncritical g =
 let test_adi_class_w_scaling_laws () =
   let count name var =
     let (module A : App.S) = Option.get (Scvad_npb.Suite.find name) in
-    let r = Analyzer.analyze (module A) in
+    let r = Analyzer.run (module A) in
     Criticality.uncritical (Criticality.find r var)
   in
   Alcotest.(check int) "SP class W (g=36)" (fig3_uncritical 36)
@@ -234,7 +236,7 @@ let test_adi_class_w_scaling_laws () =
 
 let test_bt_class_w_scaling_law () =
   let (module A : App.S) = Option.get (Scvad_npb.Suite.find "bt-w") in
-  let r = Analyzer.analyze (module A) in
+  let r = Analyzer.run (module A) in
   Alcotest.(check int) "BT class W (g=24)" (fig3_uncritical 24)
     (Criticality.uncritical (Criticality.find r "u"));
   (* sanity: the same law reproduces the paper's class-S 1500 *)

@@ -383,7 +383,7 @@ let report_of name (module A : App.S) =
   match Hashtbl.find_opt report_cache name with
   | Some r -> r
   | None ->
-      let r = Analyzer.analyze (module A : App.S) in
+      let r = Analyzer.run (module A : App.S) in
       Hashtbl.add report_cache name r;
       r
 
@@ -424,6 +424,7 @@ let test_harden_promotes_witnesses () =
       analyzed_until = 1;
       mode = Criticality.Reverse_gradient;
       tape_nodes = 0;
+      tape_profile = None;
       vars =
         [
           Criticality.of_mask ~name:"a" ~shape ~spe:1
@@ -464,10 +465,13 @@ let test_harden_promotes_witnesses () =
 let test_analyze_guard_is_monotone () =
   let (module A) = find_app "is" in
   let cs, _ = certs () in
-  let plain = Analyzer.analyze (module A : App.S) in
+  let plain = Analyzer.run (module A : App.S) in
   let guarded =
-    Analyzer.analyze
-      ~guard:{ Analyzer.g_certs = cs; g_trials = 30; g_seed = 1 }
+    Analyzer.run
+      ~config:
+        Analyzer.Config.(
+          default
+          |> with_guard { Analyzer.g_certs = cs; g_trials = 30; g_seed = 1 })
       (module A : App.S)
   in
   List.iter

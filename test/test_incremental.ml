@@ -5,7 +5,7 @@ open Scvad_core
 module Inc = Incremental
 module Npb = Scvad_npb
 
-let bt_report = lazy (Analyzer.analyze (module Npb.Bt.App))
+let bt_report = lazy (Analyzer.run (module Npb.Bt.App))
 
 let test_delta_shrinks_after_base () =
   let c =
@@ -31,7 +31,7 @@ let test_combined_never_worse () =
   List.iter
     (fun name ->
       let (module A : App.S) = Option.get (Npb.Suite.find name) in
-      let report = Analyzer.analyze (module A) in
+      let report = Analyzer.run (module A) in
       let c = Inc.storage_comparison ~checkpoints:3 (module A) report in
       List.iteri
         (fun i comb ->
@@ -129,7 +129,7 @@ let test_mg_story () =
      helps (comm3 rewrites nearly everything every V-cycle) while
      pruning saves ~19%; combined equals pruned. *)
   let (module A : App.S) = (module Npb.Mg.App) in
-  let report = Analyzer.analyze (module A) in
+  let report = Analyzer.run (module A) in
   let c = Inc.storage_comparison ~checkpoints:3 (module A) report in
   let full = List.hd c.Inc.full in
   let delta = List.nth c.Inc.incremental 1 in

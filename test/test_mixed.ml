@@ -13,7 +13,7 @@ let test_impact_generalizes_criticality () =
   List.iter
     (fun name ->
       let (module A : App.S) = Option.get (Npb.Suite.find name) in
-      let crit = Analyzer.analyze (module A) in
+      let crit = Analyzer.run (module A) in
       let imp = Analyzer.analyze_impact (module A) in
       List.iter
         (fun (vi : Impact.var_impact) ->

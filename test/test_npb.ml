@@ -5,7 +5,7 @@
 open Scvad_core
 module Npb = Scvad_npb
 
-let analyze = Analyzer.analyze
+let run_cfg config app = Analyzer.run ~config app
 
 (* Cache: one analysis per app for the whole suite. *)
 let report_cache : (string, Criticality.report) Hashtbl.t = Hashtbl.create 8
@@ -14,7 +14,7 @@ let report_of (module A : App.S) =
   match Hashtbl.find_opt report_cache A.name with
   | Some r -> r
   | None ->
-      let r = analyze (module A) in
+      let r = Analyzer.run (module A) in
       Hashtbl.add report_cache A.name r;
       r
 
@@ -183,7 +183,11 @@ let test_fig8_ft_padding_plane () =
 
 let test_bt_boundary_invariance () =
   let r0 = report_of (module Npb.Bt.App) in
-  let r2 = analyze ~at_iter:2 ~niter:3 (module Npb.Bt.App) in
+  let r2 =
+    run_cfg
+      Analyzer.Config.(default |> with_at_iter 2 |> with_niter 3)
+      (module Npb.Bt.App)
+  in
   Alcotest.(check (array bool)) "same mask at t=0 and t=2"
     (Criticality.find r0 "u").Criticality.mask
     (Criticality.find r2 "u").Criticality.mask
@@ -193,10 +197,14 @@ let test_bt_boundary_invariance () =
 (* ------------------------------------------------------------------ *)
 
 let test_modes_agree_cg_tiny () =
-  let reverse = analyze ~mode:Criticality.Reverse_gradient (module Npb.Cg.Tiny_app) in
-  let forward = analyze ~mode:Criticality.Forward_probe (module Npb.Cg.Tiny_app) in
-  let activity =
-    analyze ~mode:Criticality.Activity_dependence (module Npb.Cg.Tiny_app)
+  let by_mode m =
+    run_cfg
+      Analyzer.Config.(default |> with_mode m)
+      (module Npb.Cg.Tiny_app : App.S)
+  in
+  let reverse = by_mode Criticality.Reverse_gradient in
+  let forward = by_mode Criticality.Forward_probe in
+  let activity = by_mode Criticality.Activity_dependence
   in
   let mask r = (Criticality.find r "x").Criticality.mask in
   Alcotest.(check (array bool)) "forward = reverse" (mask reverse) (mask forward);

@@ -112,8 +112,9 @@ let check_var_report_equal app (a : Crit.var_report) (b : Crit.var_report) =
 
 let test_suite_determinism () =
   let apps = Scvad_npb.Suite.all in
-  let seq = Scvad_core.Analyzer.analyze_suite ~jobs:1 apps in
-  let par = Scvad_core.Analyzer.analyze_suite ~jobs:4 apps in
+  let cfg j = Scvad_core.Analyzer.Config.(default |> with_jobs j) in
+  let seq = Scvad_core.Analyzer.run_suite ~config:(cfg 1) apps in
+  let par = Scvad_core.Analyzer.run_suite ~config:(cfg 4) apps in
   List.iter2
     (fun (s : Crit.report) (p : Crit.report) ->
       Alcotest.(check string) "app order" s.Crit.app p.Crit.app;
@@ -131,22 +132,22 @@ let test_forward_probe_parallel_determinism () =
   (* Forward probes shard per element; compare against sequential on the
      reduced CG (full benchmarks are O(elements) runs in this mode). *)
   let app = (module Scvad_npb.Cg.Tiny_app : Scvad_core.App.S) in
-  let seq =
-    Scvad_core.Analyzer.analyze ~mode:Crit.Forward_probe ~jobs:1 app
+  let cfg j =
+    Scvad_core.Analyzer.Config.(
+      default |> with_mode Crit.Forward_probe |> with_jobs j)
   in
-  let par =
-    Scvad_core.Analyzer.analyze ~mode:Crit.Forward_probe ~jobs:4 app
-  in
+  let seq = Scvad_core.Analyzer.run ~config:(cfg 1) app in
+  let par = Scvad_core.Analyzer.run ~config:(cfg 4) app in
   List.iter2 (check_var_report_equal "cg-tiny") seq.Crit.vars par.Crit.vars
 
 let test_activity_parallel_determinism () =
   let app = (module Scvad_npb.Cg.Tiny_app : Scvad_core.App.S) in
-  let seq =
-    Scvad_core.Analyzer.analyze ~mode:Crit.Activity_dependence ~jobs:1 app
+  let cfg j =
+    Scvad_core.Analyzer.Config.(
+      default |> with_mode Crit.Activity_dependence |> with_jobs j)
   in
-  let par =
-    Scvad_core.Analyzer.analyze ~mode:Crit.Activity_dependence ~jobs:4 app
-  in
+  let seq = Scvad_core.Analyzer.run ~config:(cfg 1) app in
+  let par = Scvad_core.Analyzer.run ~config:(cfg 4) app in
   List.iter2 (check_var_report_equal "cg-tiny") seq.Crit.vars par.Crit.vars
 
 (* A non-positive job count is a caller bug, rejected loudly at every
@@ -163,13 +164,20 @@ let test_jobs_validated () =
     | Some a -> a
     | None -> Alcotest.fail "no is app"
   in
-  Alcotest.check_raises "Analyzer.analyze ~jobs:0"
-    (Invalid_argument "Analyzer.analyze: jobs must be >= 1 (got 0)")
-    (fun () -> ignore (Scvad_core.Analyzer.analyze ~jobs:0 app));
-  Alcotest.check_raises "Analyzer.analyze_suite ~jobs:(-2)"
-    (Invalid_argument "Analyzer.analyze_suite: jobs must be >= 1 (got -2)")
+  Alcotest.check_raises "Analyzer.run ~jobs:0"
+    (Invalid_argument "Analyzer.run: jobs must be >= 1 (got 0)")
     (fun () ->
-      ignore (Scvad_core.Analyzer.analyze_suite ~jobs:(-2) [ app ]))
+      ignore
+        (Scvad_core.Analyzer.run
+           ~config:Scvad_core.Analyzer.Config.(default |> with_jobs 0)
+           app));
+  Alcotest.check_raises "Analyzer.run_suite ~jobs:(-2)"
+    (Invalid_argument "Analyzer.run_suite: jobs must be >= 1 (got -2)")
+    (fun () ->
+      ignore
+        (Scvad_core.Analyzer.run_suite
+           ~config:Scvad_core.Analyzer.Config.(default |> with_jobs (-2))
+           [ app ]))
 
 let test_default_jobs_clamped () =
   let hw = Pool.hardware_threads () in
@@ -184,12 +192,14 @@ let test_default_jobs_clamped () =
    so Marshal gives a bit-exact comparison of whole analysis records. *)
 let prop_suite_determinism =
   QCheck.Test.make ~count:2
-    ~name:"analyze_suite bit-identical across random jobs"
+    ~name:"run_suite bit-identical across random jobs"
     QCheck.(pair (int_range 1 4) (int_range 1 4))
     (fun (j1, j2) ->
       let run j =
         Marshal.to_string
-          (Scvad_core.Analyzer.analyze_suite ~jobs:j Scvad_npb.Suite.all)
+          (Scvad_core.Analyzer.run_suite
+             ~config:Scvad_core.Analyzer.Config.(default |> with_jobs j)
+             Scvad_npb.Suite.all)
           []
       in
       String.equal (run j1) (run j2))

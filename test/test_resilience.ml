@@ -300,7 +300,7 @@ let test_resilient_pruned_restart () =
      NaN-poisoned restore from an older checkpoint, bitwise verify. *)
   with_tmp_dir (fun dir ->
       let store = Store.create dir in
-      let report = Analyzer.analyze (module Npb.Cg.App) in
+      let report = Analyzer.run (module Npb.Cg.App) in
       let r =
         Harness.crash_restart_resilient_experiment ~report ~store ~every:1
           ~crash_at:5 ~niter:6

@@ -102,18 +102,18 @@ let test_strip () =
       ignore (Strip.window strip ~lo:5 ~hi:3))
 
 let test_figures_on_bt_and_cg () =
-  let bt = Scvad_core.Analyzer.analyze (module Scvad_npb.Bt.App) in
+  let bt = Scvad_core.Analyzer.run (module Scvad_npb.Bt.App) in
   let fig = Figures.fig3 (Scvad_core.Criticality.find bt "u") in
   Alcotest.(check bool) "fig3 names the pad planes" true
     (Astring.String.is_infix ~affix:"axis1=12, axis2=12" fig.Figures.text);
   Alcotest.(check int) "fig3 has an image" 1 (List.length fig.Figures.images);
-  let cg = Scvad_core.Analyzer.analyze (module Scvad_npb.Cg.App) in
+  let cg = Scvad_core.Analyzer.run (module Scvad_npb.Cg.App) in
   let fig6 = Figures.fig6 (Scvad_core.Criticality.find cg "x") in
   Alcotest.(check bool) "fig6 spans" true
     (Astring.String.is_infix ~affix:"1-1401" fig6.Figures.text)
 
 let test_figures_write_images () =
-  let bt = Scvad_core.Analyzer.analyze (module Scvad_npb.Bt.App) in
+  let bt = Scvad_core.Analyzer.run (module Scvad_npb.Bt.App) in
   let fig = Figures.fig3 (Scvad_core.Criticality.find bt "u") in
   let dir = Filename.get_temp_dir_name () in
   let paths = Figures.write_images ~dir fig in
