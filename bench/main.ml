@@ -9,12 +9,16 @@
    modes, pruned vs full checkpoint writes, region-codec granularity,
    AD recording overhead).
 
-   Run with: dune exec bench/main.exe -- [--json] [--verbose] [--jobs N]
+   Run with:
+     dune exec bench/main.exe -- [--json] [--verbose] [--jobs N] [--out PATH]
 
    Flags:
      --json       additionally write machine-readable results to
                   BENCH_<date>.json (per-group name, time, tape nodes,
                   jobs used) so the perf trajectory is recorded
+     --out PATH   where --json writes its snapshot (default: the repo
+                  root, located by walking up from the executable to
+                  dune-project — NOT the invocation cwd)
      --verbose    print per-analysis timing lines to stderr
      --jobs N     domain-pool width for the parallel-suite group
                   (default: the hardware's recommended domain count)    *)
@@ -31,6 +35,7 @@ let say fmt = Printf.printf fmt
 let json_out = ref false
 let verbose = ref false
 let jobs = ref (Scvad_par.Pool.default_jobs ())
+let out_path : string option ref = ref None
 
 let () =
   let rec parse = function
@@ -49,12 +54,41 @@ let () =
         | Some _ | None ->
             prerr_endline "bench: --jobs expects a positive integer";
             exit 2)
+    | "--out" :: p :: rest ->
+        out_path := Some p;
+        parse rest
+    | "--out" :: [] ->
+        prerr_endline "bench: --out expects a path";
+        exit 2
     | arg :: _ ->
         Printf.eprintf
-          "bench: unknown argument %s (known: --json --verbose --jobs N)\n" arg;
+          "bench: unknown argument %s (known: --json --verbose --jobs N --out \
+           PATH)\n"
+          arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv))
+
+(* The default snapshot location is the repo root — located by walking
+   up from the bench executable (which lives in _build/default/bench/)
+   to the directory holding dune-project — so snapshots stop landing in
+   whatever directory the bench happened to be launched from. *)
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent
+  in
+  let exe_dir = Filename.dirname Sys.executable_name in
+  let start =
+    if Filename.is_relative exe_dir then
+      Filename.concat (Sys.getcwd ()) exe_dir
+    else exe_dir
+  in
+  match up start with
+  | Some root -> root
+  | None -> ( match up (Sys.getcwd ()) with Some root -> root | None -> ".")
 
 (* Every measurement lands here; [--json] serializes the ledger. *)
 type entry = {
@@ -70,17 +104,22 @@ type entry = {
   e_peak_live_nodes : int option;
   e_replays : int option;
   e_replayed_nodes : int option;
+  (* frontier-sweep extras: how much of the tape the backward sweep
+     actually inspected *)
+  e_visited_nodes : int option;
+  e_active_fraction : float option;
 }
 
 let entries : entry list ref = ref []
 
 let record ?tape_nodes ?jobs:ejobs ?budget_nodes ?peak_live_nodes ?replays
-    ?replayed_nodes ~group ~name ~metric value =
+    ?replayed_nodes ?visited_nodes ?active_fraction ~group ~name ~metric value =
   entries :=
     { e_group = group; e_name = name; e_metric = metric; e_value = value;
       e_tape_nodes = tape_nodes; e_jobs = ejobs; e_budget_nodes = budget_nodes;
       e_peak_live_nodes = peak_live_nodes; e_replays = replays;
-      e_replayed_nodes = replayed_nodes }
+      e_replayed_nodes = replayed_nodes; e_visited_nodes = visited_nodes;
+      e_active_fraction = active_fraction }
     :: !entries
 
 let json_escape s =
@@ -102,11 +141,20 @@ let write_json () =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
   in
-  let path = Printf.sprintf "BENCH_%s.json" date in
+  let path =
+    match !out_path with
+    | Some p -> p
+    | None ->
+        Filename.concat (repo_root ()) (Printf.sprintf "BENCH_%s.json" date)
+  in
   let oc = open_out path in
   let field_opt name = function
     | None -> ""
     | Some v -> Printf.sprintf ", \"%s\": %d" name v
+  in
+  let field_opt_f name = function
+    | None -> ""
+    | Some v -> Printf.sprintf ", \"%s\": %.6g" name v
   in
   Printf.fprintf oc
     "{\n  \"date\": \"%s\",\n  \"jobs\": %d,\n  \"hw_threads\": %d,\n\
@@ -127,7 +175,9 @@ let write_json () =
                field_opt "budget_nodes" e.e_budget_nodes;
                field_opt "peak_live_nodes" e.e_peak_live_nodes;
                field_opt "replays" e.e_replays;
-               field_opt "replayed_nodes" e.e_replayed_nodes ]))
+               field_opt "replayed_nodes" e.e_replayed_nodes;
+               field_opt "visited_nodes" e.e_visited_nodes;
+               field_opt_f "active_fraction" e.e_active_fraction ]))
       !entries
   in
   output_string oc (String.concat ",\n" rows);
@@ -151,8 +201,14 @@ let report_of (module A : Scvad_core.App.S) =
       if !verbose then
         Printf.eprintf "[bench] analysis %s: %.2fs (%d tape nodes)\n%!" A.name
           dt r.Crit.tape_nodes;
-      record ~tape_nodes:r.Crit.tape_nodes ~jobs:1 ~group:"analysis"
-        ~name:A.name ~metric:"s" dt;
+      let visited_nodes, active_fraction =
+        match r.Crit.sweep_profile with
+        | None -> (None, None)
+        | Some w ->
+            (Some w.Crit.w_visited_nodes, Some w.Crit.w_active_fraction)
+      in
+      record ~tape_nodes:r.Crit.tape_nodes ~jobs:1 ?visited_nodes
+        ?active_fraction ~group:"analysis" ~name:A.name ~metric:"s" dt;
       Hashtbl.add reports A.name r;
       r
 
@@ -710,11 +766,17 @@ let bench_segmented_tape () =
       match seg.Crit.tape_profile with
       | None -> say "  %-40s (no tape profile?)\n" name
       | Some p ->
+          let visited_nodes, active_fraction =
+            match seg.Crit.sweep_profile with
+            | None -> (None, None)
+            | Some w ->
+                (Some w.Crit.w_visited_nodes, Some w.Crit.w_active_fraction)
+          in
           record ~tape_nodes:seg.Crit.tape_nodes
             ~budget_nodes:p.Crit.t_budget_nodes
             ~peak_live_nodes:p.Crit.t_peak_live_nodes
             ~replays:p.Crit.t_replays ~replayed_nodes:p.Crit.t_replayed_nodes
-            ~group:"tape"
+            ?visited_nodes ?active_fraction ~group:"tape"
             ~name:(name ^ "/reverse_analysis/segmented_quarter_budget")
             ~metric:"s" t_seg;
           say
@@ -728,6 +790,75 @@ let bench_segmented_tape () =
                /. float_of_int (max 1 seg.Crit.tape_nodes))
             (if masks_equal then "bitwise-equal" else "DIVERGED"))
     [ "cg"; "ft" ];
+  say "%!"
+
+(* ------------------------------------------------------------------ *)
+(* Sparse backward: the frontier sweep against the seed's full dense
+   scan on a tape where most adjoints stay exactly zero.  1M nodes, one
+   in 64 on the spine that feeds the output, the rest dead fan-out the
+   adjoint never reaches.  The dense baseline scans (and re-allocates
+   and re-zeroes) all 1M slots every sweep; the frontier sweep word-
+   skips the dead runs and clears only what it touched. *)
+let bench_sparse_backward () =
+  say "-- Sparse backward (frontier sweep vs dense scan, 1/64 active)\n";
+  let fill_sparse_seed t =
+    let v = Seed_tape.push t (-1) 0. (-1) 0. in
+    let last = ref v in
+    for i = 2 to tape_bench_nodes do
+      if i mod 64 = 0 then last := Seed_tape.push t !last 1. v 1.
+      else ignore (Seed_tape.push t v 1. v 1.)
+    done;
+    !last
+  in
+  let fill_sparse_chunked t =
+    let v = Scvad_ad.Tape.fresh_var t in
+    let last = ref v in
+    for i = 2 to tape_bench_nodes do
+      if i mod 64 = 0 then last := Scvad_ad.Tape.push2 t !last 1. v 1.
+      else ignore (Scvad_ad.Tape.push2 t v 1. v 1.)
+    done;
+    !last
+  in
+  let seed = Seed_tape.create ~capacity:16 () in
+  let seed_out = fill_sparse_seed seed in
+  let chunked = Scvad_ad.Tape.create ~capacity_hint:tape_bench_nodes () in
+  let chunked_out = fill_sparse_chunked chunked in
+  let time_min f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let t_dense =
+    time_min (fun () ->
+        Sys.opaque_identity (ignore (Seed_tape.backward seed ~output:seed_out)))
+  in
+  let t_sparse =
+    time_min (fun () ->
+        Sys.opaque_identity
+          (ignore (Scvad_ad.Tape.backward chunked ~output:chunked_out)))
+  in
+  let st =
+    match Scvad_ad.Tape.last_sweep chunked with
+    | Some st -> st
+    | None -> failwith "sparse backward recorded no sweep stats"
+  in
+  let visited = st.Scvad_ad.Tape_intf.visited_nodes in
+  let swept = st.Scvad_ad.Tape_intf.swept_nodes in
+  let active_fraction = float_of_int visited /. float_of_int (max 1 swept) in
+  record ~tape_nodes:tape_bench_nodes ~group:"tape"
+    ~name:"backward_1M_sparse/dense_scan" ~metric:"s" t_dense;
+  record ~tape_nodes:tape_bench_nodes ~visited_nodes:visited ~active_fraction
+    ~group:"tape" ~name:"backward_1M_sparse/frontier" ~metric:"s" t_sparse;
+  say "  %-40s %10.2f ms  (%d nodes scanned)\n" "dense scan (seed layout)"
+    (t_dense *. 1e3) tape_bench_nodes;
+  say "  %-40s %10.2f ms  (%d of %d nodes visited, %.3f active, %.2fx)\n"
+    "frontier sweep (chunked layout)" (t_sparse *. 1e3) visited swept
+    active_fraction
+    (t_dense /. Float.max 1e-9 t_sparse);
   say "%!"
 
 (* ------------------------------------------------------------------ *)
@@ -812,6 +943,7 @@ let () =
   bench_static_prefilter ();
   bench_guard ();
   bench_segmented_tape ();
+  bench_sparse_backward ();
   say "TIMINGS (Bechamel, ns per run via OLS)\n";
   run_group ~quota:0.25 "Table I" [ bench_table1 ];
   run_group ~quota:0.5 "Table II (criticality analysis per benchmark)"

@@ -254,6 +254,12 @@ let print_report (r : Crit.report) =
         p.Crit.t_schedule p.Crit.t_budget_nodes p.Crit.t_segments
         p.Crit.t_snapshots p.Crit.t_replays p.Crit.t_replayed_nodes
         p.Crit.t_peak_live_nodes);
+  (match r.Crit.sweep_profile with
+  | None -> ()
+  | Some w ->
+      Printf.printf
+        "  sweep: visited %d of %d nodes (active fraction %.3f)\n"
+        w.Crit.w_visited_nodes w.Crit.w_swept_nodes w.Crit.w_active_fraction);
   List.iter
     (fun v ->
       Printf.printf "  %-20s %8d critical %8d uncritical (%5.1f%%)  regions=%d\n"

@@ -5,17 +5,25 @@
 
 type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-type t = { mutable n : int; mutable lhs : i32; mutable rhs : i32 }
+type t = {
+  mutable n : int;
+  mutable lhs : i32;
+  mutable rhs : i32;
+  mutable last : Tape_intf.sweep_stats option;
+}
 
 let alloc n : i32 = Bigarray.(Array1.create int32 c_layout n)
 
 let create ?(capacity = 1024) () =
   let capacity = Stdlib.max capacity 16 in
-  { n = 0; lhs = alloc capacity; rhs = alloc capacity }
+  { n = 0; lhs = alloc capacity; rhs = alloc capacity; last = None }
 
 let length t = t.n
 let capacity t = Bigarray.Array1.dim t.lhs
-let clear t = t.n <- 0
+
+let clear t =
+  t.n <- 0;
+  t.last <- None
 
 let grow t =
   let old = capacity t in
@@ -59,14 +67,37 @@ let backward t ~output =
          (if t.n = 1 then "" else "s"));
   let bits = Bytes.make ((output / 8) + 1) '\000' in
   mark bits output;
-  for i = output downto 0 do
-    if marked bits i then begin
-      let l = Int32.to_int t.lhs.{i} in
-      if l >= 0 then mark bits l;
-      let r = Int32.to_int t.rhs.{i} in
-      if r >= 0 then mark bits r
+  (* Frontier scan: unmarked nodes are outside the dependence cone and
+     are skipped 8 or 64 at a time without being read.  Sound because a
+     mark only ever lands at an id strictly below the node being
+     processed (parents precede children), so a skipped range can never
+     gain a mark after the scan has passed it. *)
+  let visited = ref 0 in
+  let i = ref output in
+  while !i >= 0 do
+    let ip = !i in
+    let byte = ip lsr 3 in
+    if ip land 7 = 7 && Bytes.unsafe_get bits byte = '\000' then
+      if
+        ip land 63 = 63 && byte >= 7
+        && Bytes.get_int64_ne bits (byte - 7) = 0L
+      then i := ip - 64
+      else i := ip - 8
+    else begin
+      if marked bits ip then begin
+        incr visited;
+        let l = Int32.to_int t.lhs.{ip} in
+        if l >= 0 then mark bits l;
+        let r = Int32.to_int t.rhs.{ip} in
+        if r >= 0 then mark bits r
+      end;
+      i := ip - 1
     end
   done;
+  t.last <-
+    Some { Tape_intf.visited_nodes = !visited; swept_nodes = output + 1 };
   { bits; upto = output }
+
+let last_sweep t = t.last
 
 let reachable g id = id >= 0 && id <= g.upto && marked g.bits id

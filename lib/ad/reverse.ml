@@ -194,9 +194,9 @@ module Make (T : Tape_intf.TAPE) = struct
 
   type gradients = T.adjoints option
 
-  let backward tape (output : t) =
+  let backward ?fan tape (output : t) =
     if is_const output then None
-    else Some (T.backward tape ~output:output.id)
+    else Some (T.backward ?fan tape ~output:output.id)
 
   let grad g x =
     match g with None -> 0. | Some adj -> T.adjoint adj x.id
@@ -208,9 +208,9 @@ module Segmented = Make (Tape.Segmented)
    lifted variable (all derivatives are then 0). *)
 type gradients = Tape.adjoints option
 
-let backward tape (output : t) =
+let backward ?fan tape (output : t) =
   if is_const output then None
-  else Some (Tape.backward tape ~output:output.id)
+  else Some (Tape.backward ?fan tape ~output:output.id)
 
 let grad g x =
   match g with None -> 0. | Some adj -> Tape.adjoint adj x.id

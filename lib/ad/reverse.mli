@@ -43,8 +43,12 @@ end) : Scalar.S with type t = t
 
 type gradients
 
-(** One reverse sweep from [output]; cost is linear in tape length. *)
-val backward : Tape.t -> t -> gradients
+(** One reverse sweep from [output]; cost is proportional to the
+    touched (active) subgraph, not the tape length — see
+    {!Tape_intf.TAPE.backward}.  [?fan] lets independent tape segments
+    be swept in parallel; the result is bitwise identical at any
+    parallelism. *)
+val backward : ?fan:Tape_intf.fan -> Tape.t -> t -> gradients
 
 (** [grad g x] is [d output / d x]; 0 if [x] is a constant or was recorded
     after the output. *)
@@ -69,7 +73,7 @@ module Make (T : Tape_intf.TAPE) : sig
 
   type gradients
 
-  val backward : T.t -> t -> gradients
+  val backward : ?fan:Tape_intf.fan -> T.t -> t -> gradients
   val grad : gradients -> t -> float
 end
 

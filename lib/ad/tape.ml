@@ -32,6 +32,16 @@ type slab = {
   base : int; (* global id of this slab's first node *)
 }
 
+(* Cached backward-sweep state: the adjoint accumulator plus the
+   frontier bitmap (one bit per node, set the moment the node's adjoint
+   receives any contribution).  Both survive across sweeps on the same
+   tape so that a later sweep clears only the entries the previous one
+   touched instead of zero-filling the whole accumulator (~8 bytes per
+   node — ~196 MB for a class-S FT tape, per probed output).
+   Invariant between sweeps: every nonzero entry of [f_adj] has its bit
+   set in [f_bits]. *)
+type frontier = { f_adj : f64; f_bits : Bytes.t }
+
 type t = {
   slab_nodes : int; (* nodes per slab; identical for every slab *)
   mutable n : int; (* total nodes recorded *)
@@ -39,6 +49,8 @@ type t = {
   mutable nslabs : int; (* slabs allocated (>= slabs in use) *)
   mutable cur : slab; (* slab containing node id [n] *)
   mutable cur_end : int; (* [cur.base + slab_nodes] *)
+  mutable fr : frontier option; (* sweep state cached across backwards *)
+  mutable last : Tape_intf.sweep_stats option;
 }
 
 let alloc_i32 n : i32 = Bigarray.(Array1.create int32 c_layout n)
@@ -69,6 +81,8 @@ let create ?(capacity_hint = default_capacity_hint) () =
     nslabs = 1;
     cur = first;
     cur_end = slab_nodes;
+    fr = None;
+    last = None;
   }
 
 let length t = t.n
@@ -83,7 +97,9 @@ let reserved_bytes t = capacity t * 24
 let clear t =
   t.n <- 0;
   t.cur <- t.slabs.(0);
-  t.cur_end <- t.slab_nodes
+  t.cur_end <- t.slab_nodes;
+  (* The frontier cache is storage, not recording state: keep it. *)
+  t.last <- None
 
 (* Make [cur] the slab containing node id [t.n]; never copies node data. *)
 let grow t =
@@ -121,48 +137,362 @@ let fresh_var t = push t (-1) 0. (-1) 0.
 let push1 t parent partial = push t parent partial (-1) 0.
 let push2 t l dl r dr = push t l dl r dr
 
+(* ------------------------------------------------------------------ *)
+(* Sparsity-aware frontier sweep engine, shared by the dense tape and
+   Segmented windows.
+
+   The dense sweep's only skip was the per-node [a <> 0.] test — it
+   still read every adjoint of a 24.5M-node FT tape even though the
+   zeroness of most of them IS the paper's uncriticality signal.  Here
+   a bitmap tracks which nodes have received any adjoint contribution;
+   the descending scan skips untouched nodes 8 or 64 at a time without
+   reading the accumulator.  Skipping is loss-free and order-preserving
+   because a contribution only ever lands at an id strictly below the
+   node being processed (parents precede children), so a skipped range
+   can never gain a bit after the scan has passed it.  The nodes that
+   are inspected and found nonzero — and the order they are inspected
+   in — are exactly those of the dense scan, so every floating-point
+   addition happens in the same order and the result is bitwise
+   identical. *)
+
+let[@inline] set_bit bits i =
+  let byte = i lsr 3 in
+  Bytes.unsafe_set bits byte
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get bits byte) lor (1 lsl (i land 7))))
+
+let[@inline] bit_set bits i =
+  Char.code (Bytes.unsafe_get bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+(* Restore the invariant "accumulator is all zero, bitmap is all
+   clear" by walking the bitmap: only previously-touched entries are
+   written, so the cost is O(touched + bits/64), not O(nodes). *)
+let reset_frontier fr =
+  let bits = fr.f_bits and adj = fr.f_adj in
+  let adim = Bigarray.Array1.dim adj in
+  let nbytes = Bytes.length bits in
+  let b = ref 0 in
+  while !b < nbytes do
+    if !b + 8 <= nbytes && Bytes.get_int64_ne bits !b = 0L then b := !b + 8
+    else begin
+      if Bytes.unsafe_get bits !b <> '\000' then begin
+        (* Zero all 8 slots unconditionally: re-zeroing an untouched
+           neighbor is free, and the branchless run vectorizes. *)
+        let base = !b lsl 3 in
+        let last = Stdlib.min (base + 7) (adim - 1) in
+        for i = base to last do
+          Bigarray.Array1.unsafe_set adj i 0.
+        done
+      end;
+      incr b
+    end
+  done;
+  Bytes.fill bits 0 nbytes '\000'
+
+(* A zeroed accumulator + clear bitmap covering ids [0, dim): reuse the
+   cached one when large enough (clearing only what the previous sweep
+   touched), else allocate fresh. *)
+let obtain_frontier cached ~dim =
+  match cached with
+  | Some fr when Bigarray.Array1.dim fr.f_adj >= dim ->
+      reset_frontier fr;
+      fr
+  | _ ->
+      let adj = alloc_f64 dim in
+      Bigarray.Array1.fill adj 0.;
+      { f_adj = adj; f_bits = Bytes.make ((dim + 7) lsr 3) '\000' }
+
+(* Any touched node in id range [lo, hi]?  Byte-granular, so shared
+   boundary bytes make it conservative (may answer [true] for a range
+   whose own nodes are untouched) — a false positive only costs a sweep
+   that visits nothing. *)
+let range_live bits ~lo ~hi =
+  let b_hi = hi lsr 3 in
+  let b = ref (lo lsr 3) and live = ref false in
+  while (not !live) && !b <= b_hi do
+    if !b + 8 <= b_hi + 1 then
+      if Bytes.get_int64_ne bits !b = 0L then b := !b + 8 else live := true
+    else if Bytes.unsafe_get bits !b <> '\000' then live := true
+    else incr b
+  done;
+  !live
+
+(* Sequential frontier scan of ids [hi] downto [lo]: inspect only
+   touched nodes, propagate only nonzero ones.  [get_slab k] must
+   return the materialized slab holding ids [k*sn, (k+1)*sn).  Returns
+   the number of propagating (visited) nodes. *)
+let frontier_scan ~get_slab ~sn ~(adj : f64) ~bits ~hi ~lo =
+  let visited = ref 0 in
+  if hi >= lo then begin
+    let k = ref (hi / sn) in
+    let s = ref (get_slab !k) in
+    let i = ref hi in
+    while !i >= lo do
+      let ip = !i in
+      let byte = ip lsr 3 in
+      if ip land 7 = 7 && Bytes.unsafe_get bits byte = '\000' then
+        (* Ids (ip-7, ip] untouched; widen to 64 on word alignment. *)
+        if
+          ip land 63 = 63 && byte >= 7
+          && Bytes.get_int64_ne bits (byte - 7) = 0L
+        then i := ip - 64
+        else i := ip - 8
+      else begin
+        if bit_set bits ip then begin
+          let a = Bigarray.Array1.unsafe_get adj ip in
+          (* lint: allow float-equality — exact-zero adjoint skip: a
+             zero contributes exactly nothing, so propagation is
+             loss-free *)
+          if a <> 0. then begin
+            incr visited;
+            while ip < (!s).base do
+              decr k;
+              s := get_slab !k
+            done;
+            let sl = !s in
+            let j = ip - sl.base in
+            let l = Int32.to_int (Bigarray.Array1.unsafe_get sl.lhs j) in
+            if l >= 0 then begin
+              Bigarray.Array1.unsafe_set adj l
+                (Bigarray.Array1.unsafe_get adj l
+                +. (a *. Bigarray.Array1.unsafe_get sl.dlhs j));
+              set_bit bits l
+            end;
+            let r = Int32.to_int (Bigarray.Array1.unsafe_get sl.rhs j) in
+            if r >= 0 then begin
+              Bigarray.Array1.unsafe_set adj r
+                (Bigarray.Array1.unsafe_get adj r
+                +. (a *. Bigarray.Array1.unsafe_get sl.drhs j));
+              set_bit bits r
+            end
+          end
+        end;
+        i := ip - 1
+      end
+    done
+  end;
+  !visited
+
+(* --- Segment-parallel sweep: speculative waves over slabs ---------- *)
+
+(* One slab's local sweep, run speculatively against a frozen global
+   accumulator.  Within-slab contributions land in a private scratch
+   copy; contributions crossing below the slab are queued in scan
+   order.  The speculation is valid iff no slab above it in the same
+   wave emits into its range — checked at commit time. *)
+type spec = {
+  sp_k : int;
+  sp_base : int; (* global id of scratch.{0} *)
+  sp_len : int;
+  sp_scratch : f64;
+  sp_emits : (int * float) list; (* cross-slab contributions, scan order *)
+  sp_touched : int list; (* within-slab ids that received contributions *)
+  sp_visited : int;
+}
+
+let speculate ~get_slab ~sn ~(adj : f64) ~hi ~lo k =
+  let sl = get_slab k in
+  let base = sl.base in
+  let lo_j = Stdlib.max 0 (lo - base) in
+  let hi_j = Stdlib.min (sn - 1) (hi - base) in
+  let len = hi_j + 1 in
+  let scratch = alloc_f64 len in
+  Bigarray.Array1.blit (Bigarray.Array1.sub adj base len) scratch;
+  let emits = ref [] and touched = ref [] and visited = ref 0 in
+  for j = hi_j downto lo_j do
+    let a = Bigarray.Array1.unsafe_get scratch j in
+    (* lint: allow float-equality — exact-zero adjoint skip, as in the
+       sequential sweep *)
+    if a <> 0. then begin
+      incr visited;
+      let l = Int32.to_int (Bigarray.Array1.unsafe_get sl.lhs j) in
+      if l >= 0 then begin
+        let c = a *. Bigarray.Array1.unsafe_get sl.dlhs j in
+        if l >= base then begin
+          let x = l - base in
+          Bigarray.Array1.unsafe_set scratch x
+            (Bigarray.Array1.unsafe_get scratch x +. c);
+          touched := l :: !touched
+        end
+        else emits := (l, c) :: !emits
+      end;
+      let r = Int32.to_int (Bigarray.Array1.unsafe_get sl.rhs j) in
+      if r >= 0 then begin
+        let c = a *. Bigarray.Array1.unsafe_get sl.drhs j in
+        if r >= base then begin
+          let x = r - base in
+          Bigarray.Array1.unsafe_set scratch x
+            (Bigarray.Array1.unsafe_get scratch x +. c);
+          touched := r :: !touched
+        end
+        else emits := (r, c) :: !emits
+      end
+    end
+  done;
+  {
+    sp_k = k;
+    sp_base = base;
+    sp_len = len;
+    sp_scratch = scratch;
+    sp_emits = List.rev !emits;
+    sp_touched = !touched;
+    sp_visited = !visited;
+  }
+
+(* Sequential fallback for a slab whose speculation was invalidated:
+   sweep it directly against the global accumulator (which by commit
+   order now holds its final seeds), dirtying lower wave slabs its
+   contributions land in. *)
+let commit_sweep_slab ~sn ~(adj : f64) ~bits ~hi ~lo ~w_lo ~dirty sl visited =
+  let base = sl.base in
+  let lo_j = Stdlib.max 0 (lo - base) in
+  let hi_j = Stdlib.min (sn - 1) (hi - base) in
+  for j = hi_j downto lo_j do
+    let i = base + j in
+    let a = Bigarray.Array1.unsafe_get adj i in
+    (* lint: allow float-equality — exact-zero adjoint skip, as in the
+       sequential sweep *)
+    if a <> 0. then begin
+      incr visited;
+      let l = Int32.to_int (Bigarray.Array1.unsafe_get sl.lhs j) in
+      if l >= 0 then begin
+        Bigarray.Array1.unsafe_set adj l
+          (Bigarray.Array1.unsafe_get adj l
+          +. (a *. Bigarray.Array1.unsafe_get sl.dlhs j));
+        set_bit bits l;
+        if l < base then begin
+          let tk = l / sn in
+          if tk >= w_lo then dirty.(tk - w_lo) <- true
+        end
+      end;
+      let r = Int32.to_int (Bigarray.Array1.unsafe_get sl.rhs j) in
+      if r >= 0 then begin
+        Bigarray.Array1.unsafe_set adj r
+          (Bigarray.Array1.unsafe_get adj r
+          +. (a *. Bigarray.Array1.unsafe_get sl.drhs j));
+        set_bit bits r;
+        if r < base then begin
+          let tk = r / sn in
+          if tk >= w_lo then dirty.(tk - w_lo) <- true
+        end
+      end
+    end
+  done
+
+(* Slabs speculated per wave.  With one domain this only bounds scratch
+   memory; with many it bounds how much speculation a conflict can
+   discard. *)
+let wave_cap = 16
+
+(* Sweep ids [hi] downto [lo].  Without [fan]: the sequential frontier
+   scan.  With [fan]: waves of slabs are swept speculatively in
+   parallel and committed sequentially in descending slab order —
+   scratch blit + queued contributions for valid speculations, a
+   sequential re-sweep for invalidated ones — so every addition lands
+   in the same order as the sequential scan and the result is bitwise
+   identical at any parallelism.  Visited counts are taken only from
+   final-seed sweeps, hence also identical. *)
+let sweep_range ?fan ~get_slab ~sn ~(adj : f64) ~bits ~hi ~lo () =
+  if hi < lo then 0
+  else
+    match fan with
+    | None -> frontier_scan ~get_slab ~sn ~adj ~bits ~hi ~lo
+    | Some f ->
+        let visited = ref 0 in
+        let k_lo = lo / sn in
+        let slab_live k =
+          range_live bits
+            ~lo:(Stdlib.max lo (k * sn))
+            ~hi:(Stdlib.min hi (((k + 1) * sn) - 1))
+        in
+        let pos = ref (hi / sn) in
+        while !pos >= k_lo do
+          (* Everything above [pos] is committed, so liveness here is
+             final: untouched head slabs can never gain a bit. *)
+          while !pos >= k_lo && not (slab_live !pos) do
+            decr pos
+          done;
+          if !pos >= k_lo then begin
+            let w_hi = !pos in
+            let w_lo = Stdlib.max k_lo (w_hi - wave_cap + 1) in
+            let dirty = Array.make (w_hi - w_lo + 1) false in
+            let live = ref [] in
+            for k = w_lo to w_hi do
+              if slab_live k then live := k :: !live
+            done;
+            let specs =
+              f.Tape_intf.fan_run
+                (fun k -> speculate ~get_slab ~sn ~adj ~hi ~lo k)
+                !live
+            in
+            let by_k = Hashtbl.create 16 in
+            List.iter (fun sp -> Hashtbl.replace by_k sp.sp_k sp) specs;
+            for k0 = w_lo to w_hi do
+              let k = w_hi - (k0 - w_lo) in
+              let was_dirty = dirty.(k - w_lo) in
+              match Hashtbl.find_opt by_k k with
+              | Some sp when not was_dirty ->
+                  Bigarray.Array1.blit sp.sp_scratch
+                    (Bigarray.Array1.sub adj sp.sp_base sp.sp_len);
+                  List.iter (fun id -> set_bit bits id) sp.sp_touched;
+                  visited := !visited + sp.sp_visited;
+                  List.iter
+                    (fun (id, c) ->
+                      Bigarray.Array1.unsafe_set adj id
+                        (Bigarray.Array1.unsafe_get adj id +. c);
+                      set_bit bits id;
+                      let tk = id / sn in
+                      if tk >= w_lo then dirty.(tk - w_lo) <- true)
+                    sp.sp_emits
+              | Some _ ->
+                  commit_sweep_slab ~sn ~adj ~bits ~hi ~lo ~w_lo ~dirty
+                    (get_slab k) visited
+              | None ->
+                  if was_dirty then
+                    commit_sweep_slab ~sn ~adj ~bits ~hi ~lo ~w_lo ~dirty
+                      (get_slab k) visited
+            done;
+            pos := w_lo - 1
+          end
+        done;
+        !visited
+
 (* Adjoint accumulator produced by a backward sweep. *)
 type adjoints = { adj : f64; upto : int }
 
 (* Reverse sweep from [output].  One pass computes d output / d node for
    every node at or below [output] — this is what lets the analysis
-   scrutinize every element of every checkpoint variable at once.
+   scrutinize every element of every checkpoint variable at once.  The
+   sweep is frontier-driven (see the engine above): cost is
+   proportional to the touched subgraph, not the tape, and the result
+   is bitwise identical to the dense descending scan it replaced.
+
+   The accumulator and bitmap are cached on the tape across sweeps, so
+   a later [backward] on the same tape invalidates previously returned
+   [adjoints] — consistent with the documented one-backward-per-
+   recording contract.
 
    Safety of the unsafe accesses: [output < t.n] is checked once, node
    offsets stay inside their slab by the uniform-slab-size layout, and a
    parent id is always a node id recorded before its child, so
    [l, r < i <= output < dim adj]. *)
-let backward t ~output =
+let backward ?fan t ~output =
   if output < 0 || output >= t.n then
     invalid_arg "Tape.backward: output is not a tape node";
-  let adj = alloc_f64 (output + 1) in
-  Bigarray.Array1.fill adj 0.;
+  let fr = obtain_frontier t.fr ~dim:(output + 1) in
+  t.fr <- Some fr;
+  let adj = fr.f_adj and bits = fr.f_bits in
   Bigarray.Array1.unsafe_set adj output 1.;
-  let sn = t.slab_nodes in
-  let k_hi = output / sn in
-  for k = k_hi downto 0 do
-    let s = Array.unsafe_get t.slabs k in
-    let lo = s.base in
-    let hi = if k = k_hi then output - lo else sn - 1 in
-    for j = hi downto 0 do
-      let a = Bigarray.Array1.unsafe_get adj (lo + j) in
-      (* lint: allow float-equality — exact-zero adjoint skip: a zero
-         contributes exactly nothing, so propagation is loss-free *)
-      if a <> 0. then begin
-        let l = Int32.to_int (Bigarray.Array1.unsafe_get s.lhs j) in
-        if l >= 0 then
-          Bigarray.Array1.unsafe_set adj l
-            (Bigarray.Array1.unsafe_get adj l
-            +. (a *. Bigarray.Array1.unsafe_get s.dlhs j));
-        let r = Int32.to_int (Bigarray.Array1.unsafe_get s.rhs j) in
-        if r >= 0 then
-          Bigarray.Array1.unsafe_set adj r
-            (Bigarray.Array1.unsafe_get adj r
-            +. (a *. Bigarray.Array1.unsafe_get s.drhs j))
-      end
-    done
-  done;
+  set_bit bits output;
+  let get_slab k = Array.unsafe_get t.slabs k in
+  let visited =
+    sweep_range ?fan ~get_slab ~sn:t.slab_nodes ~adj ~bits ~hi:output ~lo:0 ()
+  in
+  t.last <-
+    Some { Tape_intf.visited_nodes = visited; swept_nodes = output + 1 };
   { adj; upto = output }
+
+let last_sweep t = t.last
 
 (* Adjoint of a node; nodes above the output (or constants, id = -1)
    cannot influence it, so their adjoint is 0. *)
@@ -239,6 +569,8 @@ module Segmented = struct
     mutable replayed_nodes : int;
     mutable peak_live : int; (* in slabs *)
     mutable snapshots_taken : int;
+    mutable fr : frontier option; (* sweep state cached across backwards *)
+    mutable last : Tape_intf.sweep_stats option;
   }
 
   (* Raised by a replay push that crosses above the target window: the
@@ -307,6 +639,8 @@ module Segmented = struct
       replayed_nodes = 0;
       peak_live = 1;
       snapshots_taken = 0;
+      fr = None;
+      last = None;
     }
 
   let length t = t.n
@@ -591,33 +925,7 @@ module Segmented = struct
 
   let adjoint = adjoint
 
-  (* Dense-style reverse sweep over one materialized slab window. *)
-  let sweep_window t adj ~top_node ~lo_node =
-    for k = t.win_hi downto t.win_lo do
-      let s = match t.dir.(k) with Some s -> s | None -> assert false in
-      let base = s.base in
-      let hi = Stdlib.min (t.sn - 1) (top_node - base) in
-      let lo = Stdlib.max 0 (lo_node - base) in
-      for j = hi downto lo do
-        let a = Bigarray.Array1.unsafe_get adj (base + j) in
-        (* lint: allow float-equality — exact-zero adjoint skip, as in
-           the dense sweep: a zero contributes exactly nothing *)
-        if a <> 0. then begin
-          let l = Int32.to_int (Bigarray.Array1.unsafe_get s.lhs j) in
-          if l >= 0 then
-            Bigarray.Array1.unsafe_set adj l
-              (Bigarray.Array1.unsafe_get adj l
-              +. (a *. Bigarray.Array1.unsafe_get s.dlhs j));
-          let r = Int32.to_int (Bigarray.Array1.unsafe_get s.rhs j) in
-          if r >= 0 then
-            Bigarray.Array1.unsafe_set adj r
-              (Bigarray.Array1.unsafe_get adj r
-              +. (a *. Bigarray.Array1.unsafe_get s.drhs j))
-        end
-      done
-    done
-
-  let backward t ~output =
+  let backward ?fan t ~output =
     if output < 0 || output >= t.n then
       invalid_arg "Tape.Segmented.backward: output is not a tape node";
     let total = t.n in
@@ -626,18 +934,37 @@ module Segmented = struct
        receive adjoints but propagate nothing, so the sweep stops at the
        first watermark and their storage is never consulted. *)
     let lo_node = if t.nseg > 0 then t.marks.(0) else 0 in
-    let adj = alloc_f64 (output + 1) in
-    Bigarray.Array1.fill adj 0.;
+    let fr = obtain_frontier t.fr ~dim:(output + 1) in
+    t.fr <- Some fr;
+    let adj = fr.f_adj and bits = fr.f_bits in
     Bigarray.Array1.unsafe_set adj output 1.;
+    set_bit bits output;
+    let visited = ref 0 in
     if output >= lo_node then begin
       let k_hi = output / t.sn and k_lo = lo_node / t.sn in
+      let get_slab k =
+        match t.dir.(k) with Some s -> s | None -> assert false
+      in
       let pos = ref k_hi in
       while !pos >= k_lo do
         t.win_hi <- !pos;
         t.win_lo <- Stdlib.max k_lo (!pos - t.budget_slabs + 1);
-        ensure_window t ~lo_node
-          ~stop_node:(Stdlib.min output (((t.win_hi + 1) * t.sn) - 1));
-        sweep_window t adj ~top_node:output ~lo_node;
+        let w_hi_node = Stdlib.min output (((t.win_hi + 1) * t.sn) - 1) in
+        let w_lo_node = Stdlib.max lo_node (t.win_lo * t.sn) in
+        (* Frontier window skip: if no node in the window has received
+           any adjoint contribution, the dense sweep would visit
+           nothing here — skip the replay AND the sweep.  This is where
+           sparsity pays the most: discarded windows of uncritical
+           segments are never rematerialized at all.  Liveness is final
+           because all windows above were already swept and
+           contributions only ever land at lower ids. *)
+        if range_live bits ~lo:w_lo_node ~hi:w_hi_node then begin
+          ensure_window t ~lo_node ~stop_node:w_hi_node;
+          visited :=
+            !visited
+            + sweep_range ?fan ~get_slab ~sn:t.sn ~adj ~bits ~hi:w_hi_node
+                ~lo:w_lo_node ()
+        end;
         for k = t.win_lo to t.win_hi do
           release t k
         done;
@@ -653,7 +980,11 @@ module Segmented = struct
     t.live_lo <- total / t.sn;
     t.win_lo <- 0;
     t.win_hi <- max_int;
+    t.last <-
+      Some { Tape_intf.visited_nodes = !visited; swept_nodes = output + 1 };
     { adj; upto = output }
+
+  let last_sweep t = t.last
 
   let clear t =
     for k = 0 to Array.length t.dir - 1 do
@@ -675,7 +1006,9 @@ module Segmented = struct
     t.replays <- 0;
     t.replayed_nodes <- 0;
     t.snapshots_taken <- 0;
-    t.peak_live <- t.live_cnt
+    t.peak_live <- t.live_cnt;
+    (* The frontier cache is storage, not recording state: keep it. *)
+    t.last <- None
 
   type stats = {
     s_schedule : schedule;

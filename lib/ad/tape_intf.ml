@@ -33,6 +33,25 @@
       parent / constant"; [adjoint] (resp. [reachable]) returns 0
       (resp. [false]) for negative ids. *)
 
+(** Statistics of the most recent backward sweep.
+
+    [visited_nodes] counts the nodes whose adjoint (resp. reach mark)
+    was nonzero when the sweep inspected them — the nodes that actually
+    propagated.  [swept_nodes] is the size of the sweep range
+    ([output + 1]); the gap between the two is the work a
+    sparsity-aware sweep avoids.  Both counts are determined by the
+    recorded values alone, so they are identical across sequential and
+    parallel sweeps of the same tape. *)
+type sweep_stats = { visited_nodes : int; swept_nodes : int }
+
+(** Parallel fan-out capability, injected by the caller.
+
+    [fan_run f xs] maps [f] over [xs], possibly concurrently, and
+    returns the results in input order.  A record with a polymorphic
+    field rather than a functor argument so that tape backends need no
+    compile-time dependency on any particular pool implementation. *)
+type fan = { fan_run : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+
 (** Shared storage and lifecycle contract. *)
 module type STORE = sig
   type t
@@ -70,12 +89,29 @@ module type TAPE = sig
       [d output / d output = 1] and returns the adjoint of every node
       at or below [output].  Raises a descriptive [Invalid_argument]
       when [output] is not a recorded node — the one bounds check that
-      licenses the unsafe sweep. *)
-  val backward : t -> output:int -> adjoints
+      licenses the unsafe sweep.
+
+      The sweep is sparsity-aware: only nodes whose adjoint became
+      nonzero are visited, and the result is bitwise identical to a
+      dense descending scan (same nodes inspected in the same order,
+      so the same floating-point additions in the same order).  When
+      [?fan] is given, a backend may fan independent portions of the
+      sweep out through it; results remain bitwise identical to the
+      sequential sweep at any parallelism.
+
+      The accumulator is cached on the tape across sweeps (cleared
+      frontier-wise, not re-zeroed wholesale), so a later [backward]
+      invalidates previously returned [adjoints]: read gradients before
+      sweeping again. *)
+  val backward : ?fan:fan -> t -> output:int -> adjoints
 
   (** [adjoint g id] is [d output / d node]; 0 for constants
       ([id < 0]) and for nodes recorded after the output. *)
   val adjoint : adjoints -> int -> float
+
+  (** Statistics of the most recent [backward] on this tape; [None]
+      before the first sweep. *)
+  val last_sweep : t -> sweep_stats option
 end
 
 (** Edges-only dependence tape: no partials; a backward sweep computes
@@ -99,4 +135,9 @@ module type DEP = sig
 
   (** Is the node in the output's dependence cone? *)
   val reachable : reach -> int -> bool
+
+  (** Statistics of the most recent [backward]; [None] before the
+      first sweep.  [visited_nodes] counts marked (propagating)
+      nodes. *)
+  val last_sweep : t -> sweep_stats option
 end

@@ -35,6 +35,30 @@ let fan pool f xs =
 let fan_init pool n f =
   match pool with None -> Array.init n f | Some p -> Pool.init p n f
 
+(* The same pool, as the backend-agnostic fan-out capability the tape
+   layer accepts: with it, the backward sweep runs independent tape
+   segments in parallel (bitwise identical to the sequential sweep at
+   any [jobs] — see {!Scvad_ad.Tape_intf.TAPE.backward}). *)
+let fan_of pool =
+  Option.map
+    (fun p -> { Tape_intf.fan_run = (fun f xs -> Pool.map p f xs) })
+    pool
+
+(* Lower tape sweep stats into the report's sweep profile. *)
+let sweep_profile_of (last : Tape_intf.sweep_stats option) =
+  Option.map
+    (fun (s : Tape_intf.sweep_stats) ->
+      {
+        Criticality.w_visited_nodes = s.Tape_intf.visited_nodes;
+        w_swept_nodes = s.Tape_intf.swept_nodes;
+        w_active_fraction =
+          (if s.Tape_intf.swept_nodes = 0 then 0.
+           else
+             float_of_int s.Tape_intf.visited_nodes
+             /. float_of_int s.Tape_intf.swept_nodes);
+      })
+    last
+
 (* Static pre-resolution (the paper's "scrutinize before you run"
    carried to its limit): float variables the static activity pass
    proved [Statically_inactive] are never lifted onto the tape — their
@@ -61,6 +85,7 @@ type analysis = {
   int_reports : Criticality.var_report list;
   tape_nodes : int;
   tape_profile : Criticality.tape_profile option;
+  sweep_profile : Criticality.sweep_profile option;
 }
 
 let int_reports (module A : App.S) (int_vars : Variable.int_t list) =
@@ -109,7 +134,7 @@ let reverse_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
       fvars
   in
   I.run state ~from:at_iter ~until:niter;
-  let g = Reverse.backward tape (I.output state) in
+  let g = Reverse.backward ?fan:(fan_of pool) tape (I.output state) in
   let per_var =
     fan pool
       (fun ((v : RS.t Variable.t), snapshot) ->
@@ -134,6 +159,7 @@ let reverse_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
     int_reports = int_reports (module A) (I.int_vars state);
     tape_nodes = Tape.length tape;
     tape_profile = None;
+    sweep_profile = sweep_profile_of (Tape.last_sweep tape);
   }
 
 (* Reverse analysis under a node budget: the same lift / run / backward
@@ -192,7 +218,7 @@ let segmented_reverse_analysis ?pool ?static ~budget_nodes ~schedule
      boundaries; resolve integer criticality now, from the completed
      run, before any replay can disturb it. *)
   let ints = int_reports (module A) (I.int_vars state) in
-  let g = Reverse.Segmented.backward tape !out in
+  let g = Reverse.Segmented.backward ?fan:(fan_of pool) tape !out in
   let per_var =
     fan pool
       (fun ((v : RS.t Variable.t), snapshot) ->
@@ -228,6 +254,7 @@ let segmented_reverse_analysis ?pool ?static ~budget_nodes ~schedule
           t_replayed_nodes = st.T.s_replayed_nodes;
           t_peak_live_nodes = st.T.s_peak_live_nodes;
         };
+    sweep_profile = sweep_profile_of (T.last_sweep tape);
   }
 
 let activity_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
@@ -271,6 +298,7 @@ let activity_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
     int_reports = int_reports (module A) (I.int_vars state);
     tape_nodes = Dep_tape.length tape;
     tape_profile = None;
+    sweep_profile = sweep_profile_of (Dep_tape.last_sweep tape);
   }
 
 let forward_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
@@ -318,6 +346,7 @@ let forward_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
     int_reports = int_reports (module A) (I.int_vars skeleton);
     tape_nodes = 0;
     tape_profile = None;
+    sweep_profile = None;
   }
 
 let analyze_with ~mode ~at_iter ?niter ?pool ?static ?memory_budget ~schedule
@@ -353,6 +382,7 @@ let analyze_with ~mode ~at_iter ?niter ?pool ?static ?memory_budget ~schedule
     mode;
     tape_nodes = a.tape_nodes;
     tape_profile = a.tape_profile;
+    sweep_profile = a.sweep_profile;
     vars = a.float_reports @ a.int_reports;
   }
 
@@ -546,6 +576,28 @@ let run_boundaries ?(config = Config.default) ~boundaries (module A : App.S) =
         vars;
         tape_nodes =
           List.fold_left (fun acc r -> acc + r.Criticality.tape_nodes) 0 reports;
+        sweep_profile =
+          (match
+             List.filter_map (fun r -> r.Criticality.sweep_profile) reports
+           with
+          | [] -> None
+          | profs ->
+              let v =
+                List.fold_left
+                  (fun a p -> a + p.Criticality.w_visited_nodes)
+                  0 profs
+              and s =
+                List.fold_left
+                  (fun a p -> a + p.Criticality.w_swept_nodes)
+                  0 profs
+              in
+              Some
+                {
+                  Criticality.w_visited_nodes = v;
+                  w_swept_nodes = s;
+                  w_active_fraction =
+                    (if s = 0 then 0. else float_of_int v /. float_of_int s);
+                });
       }
 
 (* ------------------------------------------------------------------ *)

@@ -29,6 +29,8 @@ type analysis = {
   tape_nodes : int;
   tape_profile : Criticality.tape_profile option;
       (** set only by {!segmented_reverse_analysis} *)
+  sweep_profile : Criticality.sweep_profile option;
+      (** what the backward sweep visited; [None] for forward probing *)
 }
 
 (** One taped run + one backward sweep for all elements (what Enzyme

@@ -43,6 +43,17 @@ type tape_profile = {
   t_peak_live_nodes : int;
 }
 
+(* What the backward sweep actually did.  [w_visited_nodes] counts the
+   nodes whose adjoint was nonzero when inspected — the active subgraph
+   the frontier sweep is proportional to; the zero-adjoint rest IS the
+   uncriticality signal, never walked.  Absent for forward-probe runs
+   (no tape, no sweep). *)
+type sweep_profile = {
+  w_visited_nodes : int;
+  w_swept_nodes : int; (* sweep range: output + 1 *)
+  w_active_fraction : float; (* visited / swept; 0 on an empty sweep *)
+}
+
 type report = {
   app : string;
   at_iteration : int; (* checkpoint boundary the analysis models *)
@@ -50,6 +61,7 @@ type report = {
   mode : mode;
   tape_nodes : int; (* size of the recorded data-flow graph *)
   tape_profile : tape_profile option; (* memory-budgeted recording? *)
+  sweep_profile : sweep_profile option; (* what backward visited *)
   vars : var_report list;
 }
 

@@ -47,6 +47,18 @@ type tape_profile = {
   t_peak_live_nodes : int;
 }
 
+(** What the backward sweep actually did.  [w_visited_nodes] counts the
+    nodes whose adjoint (or dependence mark) was nonzero when inspected
+    — the active subgraph the frontier sweep's cost is proportional to.
+    The zero-adjoint rest is the paper's uncriticality signal and is
+    never walked.  [None] for forward-probe runs (no tape, no
+    sweep). *)
+type sweep_profile = {
+  w_visited_nodes : int;
+  w_swept_nodes : int;  (** sweep range: output node + 1 *)
+  w_active_fraction : float;  (** visited / swept; 0 on an empty sweep *)
+}
+
 type report = {
   app : string;
   at_iteration : int;  (** checkpoint boundary the analysis models *)
@@ -54,6 +66,7 @@ type report = {
   mode : mode;
   tape_nodes : int;  (** recorded data-flow graph size *)
   tape_profile : tape_profile option;  (** memory-budgeted recording? *)
+  sweep_profile : sweep_profile option;  (** what backward visited *)
   vars : var_report list;
 }
 

@@ -214,15 +214,29 @@ let test_tape_clear_reuses_slabs () =
   close "gradient after clear+reuse" 6. (Reverse.grad g x)
 
 let test_tape_second_backward () =
-  (* Two independent backward sweeps over the same tape. *)
+  (* Two backward sweeps over the same tape.  The sweeps share the
+     cached accumulator, so each gradient must be read before the next
+     sweep runs (a new [backward] invalidates the previous result). *)
   with_reverse (fun tape (module S) ->
       let x = Reverse.var tape 2. in
       let y1 = S.(x *. x) in
       let y2 = S.(y1 *. x) in
       let g1 = Reverse.backward tape y1 in
-      let g2 = Reverse.backward tape y2 in
       close "dy1/dx" 4. (Reverse.grad g1 x);
-      close "dy2/dx" 12. (Reverse.grad g2 x))
+      let g2 = Reverse.backward tape y2 in
+      close "dy2/dx" 12. (Reverse.grad g2 x);
+      (* The second sweep reused the buffer: the frontier reset must
+         have cleared the first sweep's entries, not kept them. *)
+      (match Tape.last_sweep tape with
+      | None -> Alcotest.fail "no sweep stats after backward"
+      | Some st ->
+          Alcotest.(check int)
+            "swept covers the output prefix"
+            (Reverse.node_id y2 + 1)
+            st.Scvad_ad.Tape_intf.swept_nodes;
+          Alcotest.(check bool)
+            "visited <= swept" true
+            Scvad_ad.Tape_intf.(st.visited_nodes <= st.swept_nodes)))
 
 (* ------------------------------------------------------------------ *)
 (* Forward mode                                                        *)

@@ -425,6 +425,7 @@ let test_harden_promotes_witnesses () =
       mode = Criticality.Reverse_gradient;
       tape_nodes = 0;
       tape_profile = None;
+      sweep_profile = None;
       vars =
         [
           Criticality.of_mask ~name:"a" ~shape ~spe:1
