@@ -671,6 +671,44 @@ let bench_static_prefilter () =
       say "%!"
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint-set discovery: wall time of the static ranking pass and
+   the size of the proposal it emits — the quantities a user weighing
+   "trust the declarations" against "discover the set" cares about. *)
+let bench_discover () =
+  say "-- Checkpoint-set discovery (scvad_discover ranking pass)\n";
+  match Scvad_discover.Driver.locate_npb_dir () with
+  | None -> say "  (lib/npb sources not found; group skipped)\n"
+  | Some dir ->
+      let t0 = Unix.gettimeofday () in
+      let proposals, _findings = Scvad_discover.Driver.analyze_dir dir in
+      let t_pass = Unix.gettimeofday () -. t0 in
+      let module Rank = Scvad_discover.Rank in
+      record ~group:"discover" ~name:"static_pass/lib_npb" ~metric:"s" t_pass;
+      record ~group:"discover" ~name:"static_pass/required_fields"
+        ~metric:"fields"
+        (float_of_int (Rank.count_verdict proposals Rank.Required));
+      record ~group:"discover" ~name:"static_pass/pruned_fields"
+        ~metric:"fields"
+        (float_of_int
+           (Rank.count_verdict proposals Rank.Prunable_recomputable
+           + Rank.count_verdict proposals Rank.Prunable_dead));
+      say "  %-40s %10.2f ms\n" "discovery pass (all kernel sources)"
+        (t_pass *. 1e3);
+      List.iter
+        (fun (a : Rank.app_ranks) ->
+          let proposed = List.length (Rank.discovered_fields a) in
+          let pruned = List.length (Rank.pruned_vars a) in
+          let added = List.length (Rank.added_fields a) in
+          record ~group:"discover"
+            ~name:(a.Rank.r_app ^ "/proposed_fields")
+            ~metric:"fields" (float_of_int proposed);
+          say "  %-40s %10d proposed  (%d pruned, %d added)\n"
+            (a.Rank.r_app ^ " proposed checkpoint set")
+            proposed pruned added)
+        proposals;
+      say "%!"
+
+(* ------------------------------------------------------------------ *)
 (* Guarded scrutiny: the static certification pass plus the dynamic
    falsifier it schedules.  Wall clock: the quantities of interest are
    the one-shot certification cost, the per-trial falsifier price on
@@ -941,6 +979,7 @@ let () =
   phase1 ();
   bench_suite_parallel ();
   bench_static_prefilter ();
+  bench_discover ();
   bench_guard ();
   bench_segmented_tape ();
   bench_sparse_backward ();

@@ -1,0 +1,232 @@
+(* scvad_discover driver: AutoCheck-style static discovery of the
+   checkpoint set over the NPB kernel sources, cross-validated against
+   the dynamic engine.
+
+   Usage: discover [--format text|json] [--out FILE] [--check] [ROOT]
+
+   ROOT is the directory of kernel sources (default: the repo's
+   lib/npb, found by walking up to dune-project).  --check runs the
+   gate:
+
+   - containment: at every benched checkpoint boundary (the first and
+     the last), no dynamically critical variable may sit in a field
+     the discovery ranked prunable — the discovered set must contain
+     the dynamic engine's critical elements;
+   - fast path: analyzing under the discovered set (Config.discovered)
+     must leave every criticality mask bitwise identical to the
+     unfiltered analysis;
+   - non-vacuity: every app must resolve with a non-empty ranking, and
+     at least one app must prune a declared variable or add an
+     undeclared field — otherwise discovery found nothing the
+     declarations did not already say.
+
+   Declared-but-prunable variables are reported as candidate dead
+   weight in the declaration, with the static evidence.  Exit status:
+   0 clean, 1 on error findings or a gate violation, 2 on usage
+   errors. *)
+
+module Driver = Scvad_discover.Driver
+module Rank = Scvad_discover.Rank
+module Finding = Scvad_lint.Finding
+module Criticality = Scvad_core.Criticality
+module Analyzer = Scvad_core.Analyzer
+
+let fail_usage msg =
+  prerr_endline ("discover: " ^ msg);
+  exit 2
+
+(* The benched boundaries: the first checkpoint and the latest one the
+   app's analysis window admits.  Criticality varies with the boundary
+   (cf. IS), so containment is checked at both extremes. *)
+let boundaries (module A : Scvad_core.App.S) =
+  if A.analysis_niter > 1 then [ 0; A.analysis_niter - 1 ] else [ 0 ]
+
+(* Gate part 1 — containment: a dynamically critical variable whose
+   backing field the discovery ranked prunable is a hard failure; the
+   static claim "zero derivative, safe to drop" is falsified by the
+   engine the paper builds. *)
+let check_containment (a : Rank.app_ranks) (module A : Scvad_core.App.S) =
+  let ok = ref true in
+  List.iter
+    (fun at_iter ->
+      let report =
+        Analyzer.run
+          ~config:Analyzer.Config.(default |> with_at_iter at_iter)
+          (module A)
+      in
+      List.iter
+        (fun (v : Criticality.var_report) ->
+          let crit = Criticality.critical v in
+          if crit > 0 then
+            match
+              List.find_opt
+                (fun (f : Rank.field_rank) ->
+                  f.Rank.f_var = Some v.Criticality.name)
+                a.Rank.r_fields
+            with
+            | Some f when Rank.is_prunable f.Rank.f_verdict ->
+                Printf.eprintf
+                  "discover: GATE VIOLATION: %s.%s: %d dynamically critical \
+                   element(s) at boundary %d, but field %s is ranked %s (%s)\n"
+                  a.Rank.r_app v.Criticality.name crit at_iter f.Rank.f_field
+                  (Rank.verdict_name f.Rank.f_verdict)
+                  f.Rank.f_reason;
+                ok := false
+            | _ -> ())
+        report.Criticality.vars)
+    (boundaries (module A));
+  !ok
+
+(* Gate part 2 — fast path: pre-resolving the pruned variables must
+   not change any mask.  Containment plus all-false masks for skipped
+   variables imply this, so a mismatch means an analyzer bug. *)
+let check_fast_path (ps : Rank.proposals) (module A : Scvad_core.App.S) =
+  let unfiltered = Analyzer.run (module A) in
+  let filtered =
+    Analyzer.run
+      ~config:Analyzer.Config.(default |> with_discovered ps)
+      (module A)
+  in
+  List.for_all
+    (fun (v : Criticality.var_report) ->
+      let f = Criticality.find filtered v.Criticality.name in
+      if f.Criticality.mask = v.Criticality.mask then true
+      else begin
+        Printf.eprintf
+          "discover: GATE VIOLATION: %s.%s: discovered-mode mask differs \
+           from the unfiltered analysis\n"
+          A.name v.Criticality.name;
+        false
+      end)
+    unfiltered.Criticality.vars
+
+(* Candidate dead weight: hand-declared variables the ranking prunes,
+   reported with the static evidence (not a failure — the declaration
+   over-approximates, which is safe, just wasteful). *)
+let report_dead_weight (a : Rank.app_ranks) =
+  List.iter
+    (fun (f : Rank.field_rank) ->
+      match f.Rank.f_var with
+      | Some v ->
+          Printf.printf
+            "discover: %s: declared variable %s is candidate dead weight: \
+             field %s ranked %s — %s\n"
+            a.Rank.r_app v f.Rank.f_field
+            (Rank.verdict_name f.Rank.f_verdict)
+            f.Rank.f_reason
+      | None -> ())
+    (Rank.pruned_vars a)
+
+let run_gate (ps : Rank.proposals) =
+  let ok = ref true in
+  let checked =
+    List.filter_map
+      (fun (a : Rank.app_ranks) ->
+        if not a.Rank.r_resolved then begin
+          Printf.eprintf
+            "discover: GATE VIOLATION: app %s did not resolve statically — \
+             the proposal is vacuous there\n"
+            a.Rank.r_app;
+          ok := false
+        end;
+        if a.Rank.r_fields = [] then begin
+          Printf.eprintf
+            "discover: GATE VIOLATION: app %s has no ranked fields\n"
+            a.Rank.r_app;
+          ok := false
+        end;
+        match Scvad_npb.Suite.find a.Rank.r_app with
+        | Some app -> Some (a, app)
+        | None ->
+            Printf.eprintf
+              "discover: GATE VIOLATION: app %s has no registered benchmark\n"
+              a.Rank.r_app;
+            ok := false;
+            None)
+      ps
+  in
+  if ps = [] then begin
+    prerr_endline "discover: GATE VIOLATION: no apps ranked";
+    ok := false
+  end;
+  let dividend =
+    List.filter
+      (fun (a : Rank.app_ranks) ->
+        Rank.pruned_vars a <> [] || Rank.added_fields a <> [])
+      ps
+  in
+  if ps <> [] && dividend = [] then begin
+    prerr_endline
+      "discover: GATE VIOLATION: discovery neither pruned a declared \
+       variable nor added an undeclared field anywhere — the pass is \
+       vacuous";
+    ok := false
+  end;
+  List.iter
+    (fun ((a : Rank.app_ranks), (module A : Scvad_core.App.S)) ->
+      report_dead_weight a;
+      if not (check_containment a (module A)) then ok := false;
+      if Rank.pruned_float_vars a <> [] then
+        if not (check_fast_path ps (module A)) then ok := false)
+    checked;
+  if !ok then
+    Printf.printf
+      "discover: gate passed: %d app(s) ranked, %d field(s) required, %d \
+       prunable, %d unknown; no pruned field dynamically critical; \
+       discovered-mode masks identical.\n"
+      (List.length ps)
+      (Rank.count_verdict ps Rank.Required)
+      (Rank.count_verdict ps Rank.Prunable_recomputable
+      + Rank.count_verdict ps Rank.Prunable_dead)
+      (Rank.count_verdict ps Rank.Unknown);
+  !ok
+
+let () =
+  let format = ref "text" in
+  let out = ref "" in
+  let check = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+        " report format (default text)" );
+      ("--out", Arg.Set_string out, "FILE also write the report to FILE");
+      ( "--check",
+        Arg.Set check,
+        " gate the proposals against the dynamic reverse analysis" );
+    ]
+  in
+  let usage = "discover [--format text|json] [--out FILE] [--check] [ROOT]" in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  let root =
+    match List.rev !roots with
+    | [] -> (
+        match Driver.locate_npb_dir () with
+        | Some d -> d
+        | None -> fail_usage "no ROOT given and no lib/npb found above cwd")
+    | [ d ] -> d
+    | _ -> fail_usage "at most one ROOT directory"
+  in
+  if not (Sys.file_exists root && Sys.is_directory root) then
+    fail_usage (Printf.sprintf "ROOT %s is not a directory" root);
+  let proposals, findings = Driver.analyze_dir root in
+  let report =
+    match !format with
+    | "json" -> Driver.render_json proposals findings
+    | _ -> Driver.render_text proposals findings
+  in
+  print_string report;
+  if !out <> "" then begin
+    let oc = open_out !out in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc report)
+  end;
+  let has_errors =
+    List.exists
+      (fun (f : Finding.t) -> f.Finding.severity = Finding.Error)
+      findings
+  in
+  let gate_ok = if !check then run_gate proposals else true in
+  if has_errors || not gate_ok then exit 1

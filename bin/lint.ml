@@ -29,6 +29,7 @@ let rule_names =
     "unsafe-access";
     "float-equality";
     "swallowed-exception";
+    "deprecated-entrypoint";
     "pragma";
     "syntax";
   ]

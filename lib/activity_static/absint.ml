@@ -1048,6 +1048,10 @@ and apply_vranlc ctx env args =
 type outcome = {
   o_status : (string * feffect) list;
   o_reaches : SS.t;  (** fields with a may-dependence path to output *)
+  o_edges : (string * SS.t) list;
+      (** the raw dependence graph: destination -> sources, including
+          the synthetic "@output" sink — consumers (the discover pass)
+          re-run closures over it *)
   o_footprints : (string * footprint) list;
   o_notes : string list;
 }
@@ -1126,9 +1130,14 @@ let analyze (model : Model.t) : outcome =
           | None -> (f, Sites []) :: acc)
       model.Model.fields []
   in
+  let edges =
+    Hashtbl.fold (fun dst srcs acc -> (dst, !srcs) :: acc) ctx.edges []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   {
     o_status = SM.bindings ctx.status;
     o_reaches = reaches;
+    o_edges = edges;
     o_footprints = footprints;
     o_notes = ctx.notes;
   }

@@ -33,6 +33,12 @@ type footprint = Sites of site list | Top
 type outcome = {
   o_status : (string * feffect) list;
   o_reaches : SS.t;
+  o_edges : (string * SS.t) list;
+      (** flow-insensitive may-dependence edges, destination to sources,
+          sorted by destination and including the synthetic ["@output"]
+          sink.  Sources mix state fields with local temporaries; filter
+          on {!Model.is_state_field} when only fields matter.  The
+          discover pass runs its recomputability fixpoint over these. *)
   o_footprints : (string * footprint) list;
   o_notes : string list;
 }

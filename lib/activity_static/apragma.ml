@@ -1,23 +1,15 @@
-(* [(* activity: assume <class> <var> — <reason> *)] pragmas, built on
-   the lint scanner.  Class words are the short forms — [inactive],
-   [active], [unknown] — because the tag grammar cannot contain dashes
-   without swallowing the [--] reason separator.  An assumption only
-   overrides the verdict of the named variable when the pragma sits on
-   or directly above its declaration line; assumed-inactive claims are
-   still checked by the dynamic gate. *)
+(* [(* activity: assume <class> <var> — <reason> *)] pragmas, one
+   instantiation of the shared assume-pragma functor
+   ({!Scvad_lint.Pragma.Assume}).  Class words are the short forms —
+   [inactive], [active], [unknown] — because the tag grammar cannot
+   contain dashes without swallowing the [--] reason separator.  An
+   assumption only overrides the verdict of the named variable when the
+   pragma sits on or directly above its declaration line;
+   assumed-inactive claims are still checked by the dynamic gate. *)
 
 module Pragma = Scvad_lint.Pragma
-module Finding = Scvad_lint.Finding
 
 type tag = { a_class : Verdict.class_; a_var : string }
-type t = tag Pragma.Generic.t
-
-(* Concatenated so the scanner never matches its own source. *)
-let marker = "activity: " ^ "assume"
-
-let is_tag_char = function
-  | 'a' .. 'z' | '0' .. '9' | '_' | '\'' | ' ' -> true
-  | _ -> false
 
 let class_of_word = function
   | "inactive" -> Some Verdict.Statically_inactive
@@ -25,42 +17,38 @@ let class_of_word = function
   | "unknown" -> Some Verdict.Unknown
   | _ -> None
 
-let parse_tag text =
-  let words =
-    List.filter (fun w -> w <> "") (String.split_on_char ' ' text)
-  in
-  match words with
-  | [ cls; var ] -> (
-      match class_of_word cls with
-      | Some a_class -> Ok { a_class; a_var = var }
-      | None ->
-          Error
-            (Printf.sprintf
-               "unknown class %S in activity pragma (expected inactive, \
-                active or unknown)"
-               cls))
-  | _ ->
-      Error
-        (Printf.sprintf
-           "malformed activity pragma tag %S (expected \"<class> <var>\")"
-           text)
+module A = Pragma.Assume (struct
+  type nonrec tag = tag
 
-let scan ~file source =
-  Pragma.Generic.scan ~marker ~tag_char:is_tag_char ~parse_tag ~file source
+  let keyword = "activity"
+  let subject_of t = t.a_var
+
+  let parse_words = function
+    | [ cls; var ] -> (
+        match class_of_word cls with
+        | Some a_class -> Ok { a_class; a_var = var }
+        | None ->
+            Error
+              (Printf.sprintf
+                 "unknown class %S in activity pragma (expected inactive, \
+                  active or unknown)"
+                 cls))
+    | words ->
+        Error
+          (Printf.sprintf
+             "malformed activity pragma tag %S (expected \"<class> <var>\")"
+             (String.concat " " words))
+end)
+
+type t = A.t
+
+let scan = A.scan
 
 (* Assumption covering the declaration at [line], if any; marks it
    used.  Returns the class and the stated justification. *)
 let assume t ~var ~line =
-  match
-    Pragma.Generic.find t (fun tag first last ->
-        tag.a_var = var && first <= line && line <= last)
-  with
-  | Some e -> Some (e.Pragma.Generic.g_tag.a_class, e.Pragma.Generic.g_reason)
-  | None -> None
+  Option.map
+    (fun (tag, reason) -> (tag.a_class, reason))
+    (A.assume t ~subject:var ~line)
 
-let unused t =
-  Pragma.Generic.unused t ~describe:(fun tag first last reason ->
-      Printf.sprintf
-        "unused activity pragma: no declaration of %S on lines %d-%d \
-         (reason given: %s)"
-        tag.a_var first last reason)
+let unused = A.unused

@@ -17,7 +17,7 @@
      of a path is never promoted to an inactivity claim.) *)
 
 module Finding = Scvad_lint.Finding
-module Ljson = Scvad_lint.Ljson
+module Ljson = Scvad_util.Ljson
 module Regions = Scvad_checkpoint.Regions
 
 let read_file path =

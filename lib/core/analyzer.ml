@@ -113,8 +113,9 @@ let int_reports (module A : App.S) (int_vars : Variable.int_t list) =
    is zero / nonzero) and impact magnitudes (|derivative| per element),
    which power the mixed-precision extension.  Extraction — one scan of
    every snapshot plus the region encoding — fans out per variable. *)
-let reverse_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
-  let skips = static_skips static in
+let reverse_analysis ?pool ?static ?(pruned = []) (module A : App.S)
+    ~at_iter ~niter =
+  let skips = static_skips static @ pruned in
   let tape = Tape.create ~capacity_hint:A.tape_nodes_hint () in
   let module RS = Reverse.Scalar_of (struct
     let tape = tape
@@ -171,9 +172,9 @@ let reverse_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
    continuation", verified bitwise by the falsifier's stability check)
    is exactly what makes the replay deterministic.  The final segment
    also recomputes the output reduction, so its nodes replay too. *)
-let segmented_reverse_analysis ?pool ?static ~budget_nodes ~schedule
-    (module A : App.S) ~at_iter ~niter =
-  let skips = static_skips static in
+let segmented_reverse_analysis ?pool ?static ?(pruned = []) ~budget_nodes
+    ~schedule (module A : App.S) ~at_iter ~niter =
+  let skips = static_skips static @ pruned in
   let module T = Tape.Segmented in
   let tape = T.create ~schedule ~budget_nodes () in
   let module RS = Reverse.Segmented.Scalar_of (struct
@@ -257,8 +258,9 @@ let segmented_reverse_analysis ?pool ?static ~budget_nodes ~schedule
     sweep_profile = sweep_profile_of (T.last_sweep tape);
   }
 
-let activity_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
-  let skips = static_skips static in
+let activity_analysis ?pool ?static ?(pruned = []) (module A : App.S)
+    ~at_iter ~niter =
+  let skips = static_skips static @ pruned in
   let tape = Dep_tape.create ~capacity:(1 lsl 16) () in
   let module AS = Activity.Scalar_of (struct
     let tape = tape
@@ -301,8 +303,9 @@ let activity_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
     sweep_profile = sweep_profile_of (Dep_tape.last_sweep tape);
   }
 
-let forward_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
-  let skips = static_skips static in
+let forward_analysis ?pool ?static ?(pruned = []) (module A : App.S)
+    ~at_iter ~niter =
+  let skips = static_skips static @ pruned in
   let module I = A.Make (Dual.Scalar) in
   (* Structure discovery run (no seeding). *)
   let skeleton = I.create () in
@@ -349,14 +352,28 @@ let forward_analysis ?pool ?static (module A : App.S) ~at_iter ~niter =
     sweep_profile = None;
   }
 
-let analyze_with ~mode ~at_iter ?niter ?pool ?static ?memory_budget ~schedule
-    (module A : App.S) =
+let analyze_with ~mode ~at_iter ?niter ?pool ?static ?discovered
+    ?memory_budget ~schedule (module A : App.S) =
   let niter = Option.value niter ~default:A.analysis_niter in
   if at_iter < 0 || at_iter >= niter then
     invalid_arg "Analyzer.run: need 0 <= at_iter < niter";
   let static =
     Option.bind static (fun vs ->
         Scvad_activity.Verdict.find_app vs ~app:A.name)
+  in
+  (* Discovered mode: scrutinize the statically-proposed checkpoint set
+     instead of (only) the declared one.  Float variables whose backing
+     field the discovery pass ranked prunable are pre-resolved exactly
+     like statically-inactive ones — never lifted, all-false masks —
+     and the @discover-check gate holds the ranking to the same
+     standard as @activity-check holds the verdict table. *)
+  let pruned =
+    match
+      Option.bind discovered (fun ps ->
+          Scvad_discover.Rank.find_app ps ~app:A.name)
+    with
+    | Some ranks -> Scvad_discover.Rank.pruned_float_vars ranks
+    | None -> []
   in
   (* A memory budget routes reverse mode through the segmented tape.
      The other modes ignore it: forward probing records no tape at all,
@@ -365,15 +382,16 @@ let analyze_with ~mode ~at_iter ?niter ?pool ?static ?memory_budget ~schedule
   let a =
     match (mode, memory_budget) with
     | Criticality.Reverse_gradient, Some budget_nodes ->
-        segmented_reverse_analysis ?pool ?static ~budget_nodes ~schedule
+        segmented_reverse_analysis ?pool ?static ~pruned ~budget_nodes
+          ~schedule
           (module A)
           ~at_iter ~niter
     | Criticality.Reverse_gradient, None ->
-        reverse_analysis ?pool ?static (module A) ~at_iter ~niter
+        reverse_analysis ?pool ?static ~pruned (module A) ~at_iter ~niter
     | Criticality.Activity_dependence, _ ->
-        activity_analysis ?pool ?static (module A) ~at_iter ~niter
+        activity_analysis ?pool ?static ~pruned (module A) ~at_iter ~niter
     | Criticality.Forward_probe, _ ->
-        forward_analysis ?pool ?static (module A) ~at_iter ~niter
+        forward_analysis ?pool ?static ~pruned (module A) ~at_iter ~niter
   in
   {
     Criticality.app = A.name;
@@ -455,6 +473,9 @@ module Config = struct
     niter : int option; (* None: the app's analysis_niter *)
     jobs : int option; (* None: 1 for run, default_jobs for run_suite *)
     static : Scvad_activity.Verdict.verdicts option;
+    discovered : Scvad_discover.Rank.proposals option;
+        (* scrutinize the discovered checkpoint set: prunable-ranked
+           float fields are pre-resolved like statically-inactive ones *)
     guard : guard_spec option;
     memory_budget : int option; (* tape node slots; None: dense tape *)
     schedule : Tape.Segmented.schedule;
@@ -467,6 +488,7 @@ module Config = struct
       niter = None;
       jobs = None;
       static = None;
+      discovered = None;
       guard = None;
       memory_budget = None;
       schedule = Tape.Segmented.Binomial;
@@ -477,6 +499,7 @@ module Config = struct
   let with_niter n c = { c with niter = Some n }
   let with_jobs j c = { c with jobs = Some j }
   let with_static s c = { c with static = Some s }
+  let with_discovered ps c = { c with discovered = Some ps }
   let with_guard g c = { c with guard = Some g }
   let with_memory_budget b c = { c with memory_budget = Some b }
   let with_schedule schedule c = { c with schedule }
@@ -489,6 +512,7 @@ let run ?(config = Config.default) (module A : App.S) =
     niter;
     jobs;
     static;
+    discovered;
     guard;
     memory_budget;
     schedule;
@@ -501,12 +525,12 @@ let run ?(config = Config.default) (module A : App.S) =
       (Printf.sprintf "Analyzer.run: jobs must be >= 1 (got %d)" jobs);
   let report =
     if jobs = 1 then
-      analyze_with ~mode ~at_iter ?niter ?static ?memory_budget ~schedule
-        (module A)
+      analyze_with ~mode ~at_iter ?niter ?static ?discovered ?memory_budget
+        ~schedule (module A)
     else
       Pool.with_pool ~jobs (fun pool ->
-          analyze_with ~mode ~at_iter ?niter ~pool ?static ?memory_budget
-            ~schedule (module A))
+          analyze_with ~mode ~at_iter ?niter ~pool ?static ?discovered
+            ?memory_budget ~schedule (module A))
   in
   maybe_guard guard (module A) report
 
@@ -522,6 +546,7 @@ let run_suite ?(config = Config.default) apps =
     niter;
     jobs;
     static;
+    discovered;
     guard;
     memory_budget;
     schedule;
@@ -534,8 +559,8 @@ let run_suite ?(config = Config.default) apps =
       (Printf.sprintf "Analyzer.run_suite: jobs must be >= 1 (got %d)" jobs);
   let one pool app =
     maybe_guard guard app
-      (analyze_with ~mode ~at_iter ?niter ?pool ?static ?memory_budget
-         ~schedule app)
+      (analyze_with ~mode ~at_iter ?niter ?pool ?static ?discovered
+         ?memory_budget ~schedule app)
   in
   if jobs = 1 then List.map (one None) apps
   else

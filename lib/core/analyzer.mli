@@ -44,10 +44,16 @@ type analysis = {
     backward-sweep work — and their reports are all-false masks /
     all-zero magnitudes by construction.  The [@activity-check] gate
     asserts the static claims against the unfiltered dynamic analysis,
-    so passing a gate-checked verdict table never changes a mask. *)
+    so passing a gate-checked verdict table never changes a mask.
+
+    [pruned] extends the skip set with explicit variable names — the
+    discovery pass's prunable-ranked fields ({!Config.discovered}); the
+    same pre-resolution, the same all-false reports, the same dynamic
+    gate obligation (@discover-check). *)
 val reverse_analysis :
   ?pool:Scvad_par.Pool.t ->
   ?static:Scvad_activity.Verdict.app_verdicts ->
+  ?pruned:string list ->
   (module App.S) ->
   at_iter:int ->
   niter:int ->
@@ -66,6 +72,7 @@ val reverse_analysis :
 val segmented_reverse_analysis :
   ?pool:Scvad_par.Pool.t ->
   ?static:Scvad_activity.Verdict.app_verdicts ->
+  ?pruned:string list ->
   budget_nodes:int ->
   schedule:Scvad_ad.Tape.Segmented.schedule ->
   (module App.S) ->
@@ -79,6 +86,7 @@ val segmented_reverse_analysis :
 val activity_analysis :
   ?pool:Scvad_par.Pool.t ->
   ?static:Scvad_activity.Verdict.app_verdicts ->
+  ?pruned:string list ->
   (module App.S) ->
   at_iter:int ->
   niter:int ->
@@ -91,6 +99,7 @@ val activity_analysis :
 val forward_analysis :
   ?pool:Scvad_par.Pool.t ->
   ?static:Scvad_activity.Verdict.app_verdicts ->
+  ?pruned:string list ->
   (module App.S) ->
   at_iter:int ->
   niter:int ->
@@ -148,6 +157,15 @@ module Config : sig
         (** verdict table from the static activity pass; the entry
             matching the app (if any) pre-resolves its
             statically-inactive variables without lifting them *)
+    discovered : Scvad_discover.Rank.proposals option;
+        (** proposals from the static discovery pass ([bin/discover]):
+            the analysis scrutinizes the {e discovered} checkpoint set
+            — declared float variables whose backing field is ranked
+            prunable are pre-resolved like statically-inactive ones
+            (never lifted, all-false masks).  The [@discover-check]
+            gate asserts the ranking against the unfiltered dynamic
+            analysis, so a gate-checked proposal never changes a
+            mask. *)
     guard : guard_spec option;
         (** harden the produced report — see {!guard_spec} *)
     memory_budget : int option;
@@ -169,6 +187,7 @@ module Config : sig
   val with_niter : int -> t -> t
   val with_jobs : int -> t -> t
   val with_static : Scvad_activity.Verdict.verdicts -> t -> t
+  val with_discovered : Scvad_discover.Rank.proposals -> t -> t
   val with_guard : guard_spec -> t -> t
   val with_memory_budget : int -> t -> t
   val with_schedule : Scvad_ad.Tape.Segmented.schedule -> t -> t

@@ -1,0 +1,51 @@
+(* [(* discover: assume <verdict> <field> — <reason> *)] pragmas, one
+   instantiation of the shared assume-pragma functor
+   ({!Scvad_lint.Pragma.Assume}).  Verdict words are the short forms —
+   [required], [recomputable], [dead], [unknown] — because the tag
+   grammar cannot contain dashes without swallowing the [--] reason
+   separator.  Unlike activity/guard pragmas, the subject is a state
+   field, which has no single declaration line in the model, so the
+   pragma anchors file-wide by field name.  Assumed-prunable claims
+   remain subject to the @discover-check dynamic gate: a wrong
+   assumption fails the build, it does not corrupt checkpoints. *)
+
+module Pragma = Scvad_lint.Pragma
+
+type tag = { d_verdict : Rank.verdict; d_field : string }
+
+module A = Pragma.Assume (struct
+  type nonrec tag = tag
+
+  let keyword = "discover"
+  let subject_of t = t.d_field
+
+  let parse_words = function
+    | [ word; field ] -> (
+        match Rank.verdict_of_name word with
+        | Some d_verdict -> Ok { d_verdict; d_field = field }
+        | None ->
+            Error
+              (Printf.sprintf
+                 "unknown verdict %S in discover pragma (expected required, \
+                  recomputable, dead or unknown)"
+                 word))
+    | words ->
+        Error
+          (Printf.sprintf
+             "malformed discover pragma tag %S (expected \"<verdict> \
+              <field>\")"
+             (String.concat " " words))
+end)
+
+type t = A.t
+
+let scan = A.scan
+
+(* Assumption for [field], anchored file-wide; marks it used and
+   returns the forced verdict with its justification. *)
+let assume t ~field =
+  Option.map
+    (fun (tag, reason) -> (tag.d_verdict, reason))
+    (A.assume_anywhere t ~subject:field)
+
+let unused = A.unused

@@ -1,0 +1,23 @@
+(** [(* discover: assume <verdict> <field> — <reason> *)] pragmas.
+
+    Verdict words are the short forms [required] / [recomputable] /
+    [dead] / [unknown].  The subject is a state {e field} (not a
+    declared variable), and fields have no declaration line in the
+    model, so a pragma applies file-wide to the named field.  Forcing
+    a prunable verdict does not waive the dynamic obligation: the
+    @discover-check gate still fails if the pruned field is
+    dynamically critical. *)
+
+type tag = { d_verdict : Rank.verdict; d_field : string }
+type t = tag Scvad_lint.Pragma.Generic.t
+
+(** Scan a source for discover pragmas; malformed ones become
+    findings. *)
+val scan : file:string -> string -> t * Scvad_lint.Finding.t list
+
+(** Assumption for [field], if any (marks it used); returns the forced
+    verdict and the stated justification. *)
+val assume : t -> field:string -> (Rank.verdict * string) option
+
+(** Warning findings for pragmas that matched no field. *)
+val unused : t -> Scvad_lint.Finding.t list

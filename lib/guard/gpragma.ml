@@ -1,57 +1,45 @@
-(* [(* guard: assume smooth <var> — <reason> *)] pragmas, built on the
-   lint scanner (the same [Pragma.Generic] machinery as the activity
-   pass).  The only assumable class is [smooth]: a human vouches that
-   the leaked callee does straight-line Scalar.S arithmetic, so the
-   criterion may be applied.  The assumption does NOT waive the dynamic
-   obligation — assumed-Smooth variables are still falsifier-tested by
-   the @guard-check gate, which is the point of allowing the pragma at
-   all.  It only overrides the certificate when it sits on or directly
-   above the variable's declaration line. *)
+(* [(* guard: assume smooth <var> — <reason> *)] pragmas, one
+   instantiation of the shared assume-pragma functor
+   ({!Scvad_lint.Pragma.Assume}).  The only assumable class is
+   [smooth]: a human vouches that the leaked callee does straight-line
+   Scalar.S arithmetic, so the criterion may be applied.  The
+   assumption does NOT waive the dynamic obligation — assumed-Smooth
+   variables are still falsifier-tested by the @guard-check gate, which
+   is the point of allowing the pragma at all.  It only overrides the
+   certificate when it sits on or directly above the variable's
+   declaration line. *)
 
 module Pragma = Scvad_lint.Pragma
 
 type tag = { g_var : string }
-type t = tag Pragma.Generic.t
 
-(* Concatenated so the scanner never matches its own source. *)
-let marker = "guard: " ^ "assume"
+module A = Pragma.Assume (struct
+  type nonrec tag = tag
 
-let is_tag_char = function
-  | 'a' .. 'z' | '0' .. '9' | '_' | '\'' | ' ' -> true
-  | _ -> false
+  let keyword = "guard"
+  let subject_of t = t.g_var
 
-let parse_tag text =
-  let words =
-    List.filter (fun w -> w <> "") (String.split_on_char ' ' text)
-  in
-  match words with
-  | [ "smooth"; var ] -> Ok { g_var = var }
-  | [ cls; _ ] ->
-      Error
-        (Printf.sprintf
-           "unknown class %S in guard pragma (only \"smooth\" is assumable)"
-           cls)
-  | _ ->
-      Error
-        (Printf.sprintf
-           "malformed guard pragma tag %S (expected \"smooth <var>\")" text)
+  let parse_words = function
+    | [ "smooth"; var ] -> Ok { g_var = var }
+    | [ cls; _ ] ->
+        Error
+          (Printf.sprintf
+             "unknown class %S in guard pragma (only \"smooth\" is assumable)"
+             cls)
+    | words ->
+        Error
+          (Printf.sprintf
+             "malformed guard pragma tag %S (expected \"smooth <var>\")"
+             (String.concat " " words))
+end)
 
-let scan ~file source =
-  Pragma.Generic.scan ~marker ~tag_char:is_tag_char ~parse_tag ~file source
+type t = A.t
+
+let scan = A.scan
 
 (* Smoothness assumption covering the declaration at [line], if any;
    marks it used.  Returns the stated justification. *)
 let assume t ~var ~line =
-  match
-    Pragma.Generic.find t (fun tag first last ->
-        tag.g_var = var && first <= line && line <= last)
-  with
-  | Some e -> Some e.Pragma.Generic.g_reason
-  | None -> None
+  Option.map (fun (_, reason) -> reason) (A.assume t ~subject:var ~line)
 
-let unused t =
-  Pragma.Generic.unused t ~describe:(fun tag first last reason ->
-      Printf.sprintf
-        "unused guard pragma: no declaration of %S on lines %d-%d (reason \
-         given: %s)"
-        tag.g_var first last reason)
+let unused = A.unused

@@ -1,3 +1,7 @@
+(* The shared minimal JSON module (lib/util): one printer/parser for
+   every report writer in the tree. *)
+module Ljson = Scvad_util.Ljson
+
 type config = {
   domain_dirs : string list;
   unsafe_allow : (string * string) list;

@@ -3,6 +3,7 @@ type rule =
   | Unsafe_access
   | Float_equality
   | Swallowed_exception
+  | Deprecated_entrypoint
   | Pragma
   | Syntax
 
@@ -21,6 +22,7 @@ let rule_name = function
   | Unsafe_access -> "unsafe-access"
   | Float_equality -> "float-equality"
   | Swallowed_exception -> "swallowed-exception"
+  | Deprecated_entrypoint -> "deprecated-entrypoint"
   | Pragma -> "pragma"
   | Syntax -> "syntax"
 
@@ -29,6 +31,7 @@ let rule_of_name = function
   | "unsafe-access" -> Some Unsafe_access
   | "float-equality" -> Some Float_equality
   | "swallowed-exception" -> Some Swallowed_exception
+  | "deprecated-entrypoint" -> Some Deprecated_entrypoint
   | "pragma" -> Some Pragma
   | "syntax" -> Some Syntax
   | _ -> None

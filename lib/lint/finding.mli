@@ -5,13 +5,15 @@
     order, so reports are deterministic: the driver sorts by
     (file, line, rule, message) before printing. *)
 
-(** The four analysis rules (DESIGN.md §10), plus the two
+(** The five analysis rules (DESIGN.md §10), plus the two
     meta-diagnostics the driver itself can emit. *)
 type rule =
   | Domain_safety  (** top-level mutable state in a [Pool.map]-reachable library *)
   | Unsafe_access  (** [unsafe_get]/[unsafe_set] outside the allowlist *)
   | Float_equality  (** structural [=]/[<>]/[compare] on float operands *)
   | Swallowed_exception  (** [try … with _ ->] catch-alls *)
+  | Deprecated_entrypoint
+      (** call to a deprecated [Analyzer.analyze*] wrapper *)
   | Pragma  (** malformed or unused [(* lint: allow … *)] pragma *)
   | Syntax  (** the file did not parse *)
 

@@ -1,7 +1,10 @@
-(* Generic per-file pragma scanner, instantiated twice: the lint
-   allow-pragmas below ("lint", then the allow marker, a rule name and
-   a mandatory reason), and the static activity pass's assume-pragmas
-   (lib/activity_static/apragma.ml). *)
+(* Generic per-file pragma scanner.  Two layers of reuse: [Generic] is
+   the raw marker-and-tag scanner (the lint allow-pragmas below build on
+   it directly), and [Assume] packages the assume-pragma family shared
+   by the activity, guard and discover passes — same marker shape
+   ("<keyword>: assume"), same tag alphabet, same unused-warning
+   phrasing — so a new keyword is one functor application, not a fourth
+   hand-rolled copy. *)
 
 (* Strip leading separator punctuation between the tag and the
    justification: spaces, ASCII dashes/colons, and the UTF-8 em dash
@@ -157,6 +160,55 @@ module Generic = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* The assume-pragma family: "<keyword>: assume <words> — <reason>"    *)
+(* ------------------------------------------------------------------ *)
+
+module type ASSUME_GRAMMAR = sig
+  type tag
+
+  val keyword : string
+  val parse_words : string list -> (tag, string) result
+  val subject_of : tag -> string
+end
+
+module Assume (G : ASSUME_GRAMMAR) = struct
+  type t = G.tag Generic.t
+
+  (* Concatenated so no scanner ever matches its own source (or the
+     functor's). *)
+  let marker = G.keyword ^ ": " ^ "assume"
+
+  let is_tag_char = function
+    | 'a' .. 'z' | '0' .. '9' | '_' | '\'' | ' ' -> true
+    | _ -> false
+
+  let parse_tag text =
+    G.parse_words
+      (List.filter (fun w -> w <> "") (String.split_on_char ' ' text))
+
+  let scan ~file source =
+    Generic.scan ~marker ~tag_char:is_tag_char ~parse_tag ~file source
+
+  let payload (e : G.tag Generic.entry) = (e.Generic.g_tag, e.Generic.g_reason)
+
+  let assume t ~subject ~line =
+    Option.map payload
+      (Generic.find t (fun tag first last ->
+           G.subject_of tag = subject && first <= line && line <= last))
+
+  let assume_anywhere t ~subject =
+    Option.map payload
+      (Generic.find t (fun tag _ _ -> G.subject_of tag = subject))
+
+  let unused t =
+    Generic.unused t ~describe:(fun tag first last reason ->
+        Printf.sprintf
+          "unused %s pragma: no declaration of %S on lines %d-%d (reason \
+           given: %s)"
+          G.keyword (G.subject_of tag) first last reason)
+end
+
+(* ------------------------------------------------------------------ *)
 (* The lint instantiation: the allow-pragma with a rule-name tag       *)
 (* ------------------------------------------------------------------ *)
 
@@ -174,7 +226,8 @@ let parse_rule name =
       Error
         (Printf.sprintf
            "unknown rule %S in lint pragma (rules: domain-safety, \
-            unsafe-access, float-equality, swallowed-exception)"
+            unsafe-access, float-equality, swallowed-exception, \
+            deprecated-entrypoint)"
            name)
 
 let scan ~file source =

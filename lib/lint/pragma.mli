@@ -18,8 +18,11 @@
     stale annotations cannot accumulate.
 
     {!Generic} is the underlying scanner, parameterized over the marker
-    string and the tag grammar; the static activity pass instantiates it
-    a second time for its [(* activity: assume … *)] pragmas. *)
+    string and the tag grammar.  {!Assume} builds the shared
+    assume-pragma family on top of it: the activity, guard and discover
+    passes each instantiate it with their keyword and tag grammar, so
+    every [(* <keyword>: assume … *)] pragma has identical comment
+    absorption, justification and staleness semantics. *)
 
 (** Marker-and-tag pragma scanner, generic in the tag type. *)
 module Generic : sig
@@ -54,6 +57,45 @@ module Generic : sig
       [describe tag first last reason]. *)
   val unused :
     'tag t -> describe:('tag -> int -> int -> string -> string) -> Finding.t list
+end
+
+(** Grammar of one assume-pragma keyword: how the whitespace-separated
+    words after ["<keyword>: assume"] parse into a tag, and which
+    variable/field name the tag targets (for matching and for the
+    unused-pragma warning). *)
+module type ASSUME_GRAMMAR = sig
+  type tag
+
+  val keyword : string
+
+  (** Parse the tag words (already split, empties dropped); the error
+      string becomes an error finding at the pragma's line. *)
+  val parse_words : string list -> (tag, string) result
+
+  val subject_of : tag -> string
+end
+
+(** The assume-pragma family [(* <keyword>: assume <words> — <reason> *)]:
+    one functor application per analysis pass (activity, guard,
+    discover) replaces a hand-rolled scanner.  Tag characters are
+    lowercase alphanumerics, [_], ['], and space — dashes would swallow
+    the [--] reason separator, which is why tag words use short forms
+    ([inactive], [smooth], [recomputable], …). *)
+module Assume (G : ASSUME_GRAMMAR) : sig
+  type t = G.tag Generic.t
+
+  val scan : file:string -> string -> t * Finding.t list
+
+  (** Entry whose range covers [line] for [subject], if any; marks it
+      used and returns the tag with its justification. *)
+  val assume : t -> subject:string -> line:int -> (G.tag * string) option
+
+  (** Like {!assume} but anchored file-wide — for passes whose subjects
+      (e.g. state fields) have no declaration line to anchor to. *)
+  val assume_anywhere : t -> subject:string -> (G.tag * string) option
+
+  (** Warning findings for entries never consumed. *)
+  val unused : t -> Finding.t list
 end
 
 type t = Finding.rule Generic.t

@@ -208,7 +208,20 @@ let mentions ~exn_var body =
   iter.expr iter body;
   !found
 
-let scan_expressions ~on_unsafe ~on_float_eq ~on_swallow structure =
+(* The Config-based entry points that replace each deprecated wrapper
+   (lib/core/analyzer.mli).  The wrappers carry [@@ocaml.deprecated],
+   but that alert only fires on typechecked builds of dependent code —
+   this syntactic rule catches references anywhere in the tree,
+   including code the build graph never links. *)
+let deprecated_entrypoints =
+  [
+    ("analyze", "run");
+    ("analyze_suite", "run_suite");
+    ("analyze_boundaries", "run_boundaries");
+  ]
+
+let scan_expressions ~on_unsafe ~on_float_eq ~on_swallow ~on_deprecated
+    structure =
   let check e =
     match e.pexp_desc with
     | Pexp_ident { txt; _ } -> (
@@ -219,6 +232,14 @@ let scan_expressions ~on_unsafe ~on_float_eq ~on_swallow structure =
                  "%s bypasses bounds checking; only the allowlisted hot paths \
                   may use it"
                  last)
+        | last :: "Analyzer" :: _
+          when List.mem_assoc last deprecated_entrypoints ->
+            on_deprecated (line_of e.pexp_loc)
+              (Printf.sprintf
+                 "Analyzer.%s is a deprecated optional-argument wrapper; use \
+                  Analyzer.%s with an Analyzer.Config instead"
+                 last
+                 (List.assoc last deprecated_entrypoints))
         | _ -> ())
     | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
         let path = flatten txt in
@@ -294,5 +315,7 @@ let check ~domain_scope ~file structure =
     ~on_unsafe:(fun line msg -> add Finding.Unsafe_access line msg)
     ~on_float_eq:(fun line msg -> add Finding.Float_equality line msg)
     ~on_swallow:(fun line msg -> add Finding.Swallowed_exception line msg)
+    ~on_deprecated:(fun line msg ->
+      add Finding.Deprecated_entrypoint line msg)
     structure;
   List.rev !findings

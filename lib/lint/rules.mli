@@ -1,4 +1,4 @@
-(** The four analysis rules over a parsed [Parsetree.structure]
+(** The five analysis rules over a parsed [Parsetree.structure]
     (DESIGN.md §10).
 
     - {b domain-safety} (only when [domain_scope] is true for the file):
@@ -22,6 +22,13 @@
       worker failures and [Store.Write_failed] silently.  Binding and
       using the exception (wrapping, logging, storing for later
       re-raise) is deliberate and does not fire.
+    - {b deprecated-entrypoint}: any reference to the deprecated
+      [Analyzer.analyze]/[analyze_suite]/[analyze_boundaries]
+      optional-argument wrappers (the Config-based [run]/[run_suite]/
+      [run_boundaries] replaced them).  Purely syntactic — it matches
+      the qualified path, so it also covers code the build graph never
+      typechecks.  [Analyzer.analyze_impact] is not deprecated and does
+      not fire.
 
     All findings are raw (severity [Error]); allowlists and pragmas are
     applied downstream by {!Driver}. *)

@@ -1,0 +1,10 @@
+(* Known-bad fixture for the deprecated-entrypoint rule: every
+   reference to a deprecated Analyzer wrapper, qualified or nested,
+   must fire. *)
+
+let _report app = Scvad_core.Analyzer.analyze ~at_iter:1 app
+let _suite apps = Analyzer.analyze_suite ~jobs:2 apps
+let _union app = Analyzer.analyze_boundaries ~boundaries:[ 0; 1 ] app
+
+(* A bare reference (no application) is still a use. *)
+let _alias = Scvad_core.Analyzer.analyze_suite

@@ -1,0 +1,13 @@
+(* Known-good fixture for the deprecated-entrypoint rule: the
+   Config-based entry points, the non-deprecated impact pass, and
+   similarly-named functions outside the Analyzer module. *)
+
+let _report app = Scvad_core.Analyzer.run app
+
+let _suite apps =
+  Scvad_core.Analyzer.run_suite
+    ~config:Scvad_core.Analyzer.Config.(default |> with_jobs 2)
+    apps
+
+let _impact app = Scvad_core.Analyzer.analyze_impact app
+let _other x = Profiler.analyze x

@@ -72,6 +72,12 @@ let test_swallow_bad () =
 
 let test_swallow_good () = check_clean "no findings" (p "swallow_good.ml")
 
+let test_deprecated_bad () =
+  check_lines "deprecated-entrypoint findings" Finding.Deprecated_entrypoint
+    (p "deprecated_bad.ml") [ 5; 6; 7; 10 ]
+
+let test_deprecated_good () = check_clean "no findings" (p "deprecated_good.ml")
+
 (* ------------------------------------------------------------------ *)
 (* Pragmas                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -177,7 +183,11 @@ let suites =
         Alcotest.test_case "swallowed-exception: known bad" `Quick
           test_swallow_bad;
         Alcotest.test_case "swallowed-exception: known good" `Quick
-          test_swallow_good ] );
+          test_swallow_good;
+        Alcotest.test_case "deprecated-entrypoint: known bad" `Quick
+          test_deprecated_bad;
+        Alcotest.test_case "deprecated-entrypoint: known good" `Quick
+          test_deprecated_good ] );
     ( "lint.driver",
       [ Alcotest.test_case "pragmas suppress with justification" `Quick
           test_pragma_suppresses;
