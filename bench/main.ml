@@ -709,6 +709,61 @@ let bench_discover () =
       say "%!"
 
 (* ------------------------------------------------------------------ *)
+(* Static cost model: wall time of the counting-interpreter prediction,
+   its agreement with the dynamic tape, and the planner's own price —
+   what it costs to know the tape size before recording a node. *)
+let bench_cost () =
+  say "-- Static cost model (scvad_cost prediction + planner)\n";
+  match Scvad_activity.Driver.locate_npb_dir () with
+  | None -> say "  (lib/npb sources not found; group skipped)\n"
+  | Some dir ->
+      let module World = Scvad_cost.World in
+      let module Predict = Scvad_cost.Predict in
+      let module Plan = Scvad_cost.Plan in
+      let t0 = Unix.gettimeofday () in
+      let world = World.load ~npb_dir:dir () in
+      let t_load = Unix.gettimeofday () -. t0 in
+      record ~group:"cost" ~name:"world_load/lib_npb" ~metric:"s" t_load;
+      say "  %-40s %10.2f ms\n" "world load (parse + eval all sources)"
+        (t_load *. 1e3);
+      List.iter
+        (fun name ->
+          match World.find_app world name with
+          | None -> ()
+          | Some app ->
+              let t0 = Unix.gettimeofday () in
+              let p = Predict.predict world app in
+              let t_pred = Unix.gettimeofday () -. t0 in
+              record ~tape_nodes:p.Predict.p_total ~group:"cost"
+                ~name:(name ^ "/predict") ~metric:"s" t_pred;
+              let measured =
+                match Scvad_npb.Suite.find name with
+                | Some (module A : Scvad_core.App.S) ->
+                    (Scvad_core.Analyzer.run (module A)).Crit.tape_nodes
+                | None -> -1
+              in
+              say "  %-40s %10.2f ms, %d nodes predicted (measured %d)\n"
+                (name ^ " prediction") (t_pred *. 1e3) p.Predict.p_total
+                measured;
+              let budget_nodes = Stdlib.max 1 (p.Predict.p_total / 3) in
+              let t0 = Unix.gettimeofday () in
+              let plan = Plan.of_prediction p ~budget_nodes in
+              let t_plan = Unix.gettimeofday () -. t0 in
+              record ~budget_nodes
+                ~peak_live_nodes:plan.Plan.peak_live_nodes
+                ~replays:plan.Plan.replays
+                ~replayed_nodes:plan.Plan.replayed_nodes ~group:"cost"
+                ~name:(name ^ "/plan") ~metric:"s" t_plan;
+              say
+                "  %-40s %10.2f ms, %d boundaries, peak %d, %d replays\n"
+                (name ^ " plan (budget = dense/3)")
+                (t_plan *. 1e3)
+                (List.length plan.Plan.boundaries)
+                plan.Plan.peak_live_nodes plan.Plan.replays)
+        [ "cg-tiny"; "lu"; "sp" ];
+      say "%!"
+
+(* ------------------------------------------------------------------ *)
 (* Guarded scrutiny: the static certification pass plus the dynamic
    falsifier it schedules.  Wall clock: the quantities of interest are
    the one-shot certification cost, the per-trial falsifier price on
@@ -980,6 +1035,7 @@ let () =
   bench_suite_parallel ();
   bench_static_prefilter ();
   bench_discover ();
+  bench_cost ();
   bench_guard ();
   bench_segmented_tape ();
   bench_sparse_backward ();

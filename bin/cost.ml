@@ -1,0 +1,194 @@
+(* scvad_cost driver: static tape-size predictions over the NPB kernel
+   sources, with an optional dynamic exactness gate.
+
+   Usage: cost [--format text|json] [--out FILE] [--check] [ROOT]
+
+   ROOT is the directory of kernel sources (default: the repo's
+   lib/npb, found by walking up to dune-project).  --check runs the
+   real dynamic reverse analysis for every predicted app and fails
+   unless every prediction matches the measured tape node count
+   EXACTLY, every committed tape_nodes_hint sits within 10% of its
+   prediction, IS is proven to record zero float nodes, and a planned
+   segmented analysis reproduces the dense masks bitwise within its
+   predicted replay budget.  Exit status: 0 clean, 1 on a gate
+   violation, 2 on usage errors. *)
+
+module World = Scvad_cost.World
+module Driver = Scvad_cost.Driver
+module Predict = Scvad_cost.Predict
+module Plan = Scvad_cost.Plan
+module Criticality = Scvad_core.Criticality
+module Config = Scvad_core.Analyzer.Config
+
+let fail_usage msg =
+  prerr_endline ("cost: " ^ msg);
+  exit 2
+
+let violation = ref false
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "cost: GATE VIOLATION: %s\n" msg;
+      violation := true)
+    fmt
+
+(* The gate, part 1: every prediction must equal the dynamically
+   measured dense tape node count, exactly — the cost model claims a
+   node-for-node reproduction of the recording, so "close" is a bug. *)
+let check_exactness (c : Driver.app_cost) =
+  match Scvad_npb.Suite.find c.Driver.c_app with
+  | None -> fail "app %s has no registered benchmark" c.Driver.c_app
+  | Some (module A : Scvad_core.App.S) ->
+      let report = Scvad_core.Analyzer.run (module A) in
+      let measured = report.Criticality.tape_nodes in
+      let predicted = c.Driver.c_p.Predict.p_total in
+      if measured <> predicted then
+        fail "%s: predicted %d nodes but the dense tape recorded %d"
+          c.Driver.c_app predicted measured
+
+(* The gate, part 2: committed hand-maintained hints must stay within
+   10% of the prediction (the drift that motivated this pass: cg-tiny
+   once sat 51% above the truth).  A zero-node analysis (IS) makes any
+   relative bound meaningless; its hint is a pure preallocation floor. *)
+let check_hint (c : Driver.app_cost) =
+  let predicted = c.Driver.c_p.Predict.p_total in
+  if predicted > 0 then begin
+    let drift =
+      Float.abs (float_of_int (c.Driver.c_hint - predicted))
+      /. float_of_int predicted
+    in
+    if drift > 0.10 then
+      fail "%s: tape_nodes_hint %d drifts %.0f%% from the predicted %d"
+        c.Driver.c_app c.Driver.c_hint (100. *. drift) predicted
+  end
+
+(* The gate, part 3: the paper's IS observation — an integer sort
+   records no float operations — must come out of the model as an exact
+   zero, not a small number. *)
+let check_is_zero costs =
+  match
+    List.find_opt (fun c -> c.Driver.c_app = "is") costs
+  with
+  | None -> fail "the gate did not cover IS"
+  | Some c ->
+      if c.Driver.c_p.Predict.p_total <> 0 then
+        fail "IS predicted %d float nodes; the model must prove exactly 0"
+          c.Driver.c_p.Predict.p_total
+
+(* The gate, part 4: a multi-segment analysis under a Planned schedule
+   must reproduce the dense masks bitwise, stay within the budget, and
+   not exceed the planner's dense-sweep replay upper bounds. *)
+let check_planned world =
+  let name = "cg-tiny" and niter = 4 in
+  match (World.find_app world name, Scvad_npb.Suite.find name) with
+  | Some app, Some (module A : Scvad_core.App.S) -> (
+      let p = Predict.predict ~niter world app in
+      let budget_nodes = Stdlib.max 1 (p.Predict.p_total / 3) in
+      let plan = Plan.of_prediction p ~budget_nodes in
+      let dense =
+        Scvad_core.Analyzer.run
+          ~config:Config.(default |> with_niter niter)
+          (module A)
+      in
+      let planned =
+        Scvad_core.Analyzer.run
+          ~config:
+            Config.(
+              default |> with_niter niter
+              |> with_memory_budget budget_nodes
+              |> with_schedule
+                   (Scvad_ad.Tape.Segmented.Planned plan.Plan.boundaries))
+          (module A)
+      in
+      List.iter
+        (fun (v : Criticality.var_report) ->
+          let d = Criticality.find dense v.Criticality.name in
+          if d.Criticality.mask <> v.Criticality.mask then
+            fail "%s.%s: planned-schedule mask differs from the dense analysis"
+              name v.Criticality.name)
+        planned.Criticality.vars;
+      match planned.Criticality.tape_profile with
+      | None -> fail "%s: planned analysis carries no tape profile" name
+      | Some prof ->
+          if prof.Criticality.t_peak_live_nodes > plan.Plan.peak_live_nodes
+          then
+            fail "%s: peak live %d nodes exceeds the planned %d" name
+              prof.Criticality.t_peak_live_nodes plan.Plan.peak_live_nodes;
+          if prof.Criticality.t_replayed_nodes > plan.Plan.replayed_nodes then
+            fail "%s: %d replayed nodes exceeds the planned bound %d" name
+              prof.Criticality.t_replayed_nodes plan.Plan.replayed_nodes;
+          if prof.Criticality.t_replays > plan.Plan.replays then
+            fail "%s: %d replays exceeds the planned bound %d" name
+              prof.Criticality.t_replays plan.Plan.replays)
+  | _ -> fail "planned-schedule check: %s is not available" name
+
+let run_gate world costs =
+  List.iter
+    (fun c ->
+      check_exactness c;
+      check_hint c)
+    costs;
+  check_is_zero costs;
+  check_planned world;
+  if not !violation then
+    Printf.printf
+      "cost: gate passed: %d prediction(s) exact against the dynamic tape, \
+       all hints within 10%%, IS proven zero-node, planned schedule \
+       bitwise-identical within its replay bounds.\n"
+      (List.length costs);
+  not !violation
+
+let () =
+  let format = ref "text" in
+  let out = ref "" in
+  let check = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+        " report format (default text)" );
+      ("--out", Arg.Set_string out, "FILE also write the report to FILE");
+      ( "--check",
+        Arg.Set check,
+        " gate the predictions against the dynamic reverse analysis" );
+    ]
+  in
+  let usage = "cost [--format text|json] [--out FILE] [--check] [ROOT]" in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  let root =
+    match List.rev !roots with
+    | [] -> (
+        match Scvad_activity.Driver.locate_npb_dir () with
+        | Some d -> d
+        | None -> fail_usage "no ROOT given and no lib/npb found above cwd")
+    | [ d ] -> d
+    | _ -> fail_usage "at most one ROOT directory"
+  in
+  if not (Sys.file_exists root && Sys.is_directory root) then
+    fail_usage (Printf.sprintf "ROOT %s is not a directory" root);
+  match
+    let world = World.load ~npb_dir:root () in
+    let costs = Driver.analyze world in
+    let fits = Driver.fit_families world in
+    (world, costs, fits)
+  with
+  | exception Scvad_cost.Value.Error msg ->
+      prerr_endline ("cost: interpreter error: " ^ msg);
+      exit 1
+  | world, costs, fits ->
+      let report =
+        match !format with
+        | "json" -> Driver.render_json costs fits
+        | _ -> Driver.render_text costs fits
+      in
+      print_string report;
+      if !out <> "" then begin
+        let oc = open_out !out in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc report)
+      end;
+      let gate_ok = if !check then run_gate world costs else true in
+      if not gate_ok then exit 1

@@ -112,21 +112,24 @@ let memory_budget_arg =
     & opt (some budget_conv) None
     & info [ "memory-budget" ] ~docv:"NODES" ~doc)
 
+(* The schedule is parsed as a string because [Planned] carries a
+   payload no flag can spell: its boundaries come out of the static
+   cost model at run time. *)
 let schedule_arg =
-  let schedules =
-    [ ("binomial", Scvad_ad.Tape.Segmented.Binomial);
-      ("log-stride", Scvad_ad.Tape.Segmented.Log_stride);
-      ("all-store", Scvad_ad.Tape.Segmented.All_store) ]
-  in
   let doc =
     "Recompute-vs-store schedule under --memory-budget: $(b,binomial)
      (optimal re-snapshotting during replay), $(b,log-stride) (doubling
-     snapshot stride, replay from retained snapshots only), or
-     $(b,all-store) (never discard; the budget is ignored)."
+     snapshot stride, replay from retained snapshots only),
+     $(b,all-store) (never discard; the budget is ignored), or
+     $(b,planned) (snapshot boundaries computed offline by the static
+     cost model before any recording)."
   in
   Arg.(
     value
-    & opt (enum schedules) Scvad_ad.Tape.Segmented.Binomial
+    & opt (enum
+             [ ("binomial", `Binomial); ("log-stride", `Log_stride);
+               ("all-store", `All_store); ("planned", `Planned) ])
+        `Binomial
     & info [ "tape-schedule" ] ~doc)
 
 let dir_arg =
@@ -268,32 +271,138 @@ let print_report (r : Crit.report) =
         (Scvad_checkpoint.Regions.count_regions v.Crit.regions))
     r.Crit.vars
 
+(* Static cost model hooks: interpret the benchmark's kernel source and
+   predict its tape node counts for the requested analysis window. *)
+let predict_cost ~name ~at_iter ~niter =
+  match
+    let world = Scvad_cost.World.load () in
+    Option.map
+      (fun app -> Scvad_cost.Predict.predict ~at_iter ?niter world app)
+      (Scvad_cost.World.find_app world name)
+  with
+  | Some p -> Ok p
+  | None ->
+      Error (Printf.sprintf "no kernel source found for benchmark %S" name)
+  | exception Scvad_cost.Value.Error msg ->
+      Error (Printf.sprintf "static cost model failed: %s" msg)
+
+let plan_arg =
+  let doc =
+    "Dry run: print the static cost model's predicted tape nodes and —
+     under --memory-budget — the planned snapshot schedule, predicted
+     peak live storage and predicted replay traffic, without executing
+     any analysis."
+  in
+  Arg.(value & flag & info [ "plan" ] ~doc)
+
+let auto_capacity_arg =
+  let doc =
+    "Size the dense reverse tape from the static cost model's exact
+     prediction instead of the benchmark's hand-maintained
+     tape_nodes_hint (reverse mode without --memory-budget)."
+  in
+  Arg.(value & flag & info [ "auto-capacity" ] ~doc)
+
+let print_plan name (p : Scvad_cost.Predict.t) plan =
+  Printf.printf
+    "benchmark %s: static cost plan (boundary t=%d, window until %d)\n" name
+    p.Scvad_cost.Predict.p_at_iter p.Scvad_cost.Predict.p_analysis_niter;
+  Printf.printf "  predicted tape: %d nodes (%.1f MB), lift %d, output %d\n"
+    p.Scvad_cost.Predict.p_total
+    (float_of_int p.Scvad_cost.Predict.p_total *. 24. /. 1e6)
+    p.Scvad_cost.Predict.p_lift p.Scvad_cost.Predict.p_output;
+  let segs = p.Scvad_cost.Predict.p_segments in
+  if Array.length segs > 0 then begin
+    let mn = Array.fold_left min segs.(0) segs in
+    let mx = Array.fold_left max segs.(0) segs in
+    Printf.printf "  segments: %d (min %d, max %d nodes)\n" (Array.length segs)
+      mn mx
+  end;
+  match plan with
+  | None ->
+      Printf.printf
+        "  dense tape: capacity_hint %d would be derived (committed hint %d)\n"
+        p.Scvad_cost.Predict.p_total p.Scvad_cost.Predict.p_hint
+  | Some (budget, pl) ->
+      Printf.printf
+        "  budget %d nodes -> %d slabs of %d; snapshots at [%s]\n" budget
+        pl.Scvad_cost.Plan.budget_slabs pl.Scvad_cost.Plan.slab_nodes
+        (String.concat "; "
+           (List.map string_of_int pl.Scvad_cost.Plan.boundaries));
+      Printf.printf
+        "  predicted peak live %d nodes, %d replays (%d nodes re-pushed, \
+         dense-sweep upper bound)\n"
+        pl.Scvad_cost.Plan.peak_live_nodes pl.Scvad_cost.Plan.replays
+        pl.Scvad_cost.Plan.replayed_nodes
+
 let analyze_cmd =
-  let run name mode at_iter niter jobs memory_budget schedule =
+  let run name mode at_iter niter jobs memory_budget schedule dry_run
+      auto_capacity =
+    let ( >>= ) = Result.bind in
     handle
-      (Result.map
-         (fun (module A : Scvad_core.App.S) ->
-           let config =
-             {
-               Scvad_core.Analyzer.Config.default with
-               Scvad_core.Analyzer.Config.mode;
-               at_iter;
-               niter;
-               jobs = Some jobs;
-               memory_budget;
-               schedule;
-             }
-           in
-           let r = Scvad_core.Analyzer.run ~config (module A) in
-           print_report r)
-         (find_app name))
+      ( find_app name >>= fun (module A : Scvad_core.App.S) ->
+        (* The planned schedule and the dry run both consult the static
+           cost model; the closed-form schedules never do. *)
+        let wants_cost =
+          dry_run || auto_capacity
+          || (schedule = `Planned && memory_budget <> None)
+        in
+        (match schedule with
+        | `Planned when memory_budget = None ->
+            Error "--tape-schedule planned requires --memory-budget"
+        | _ -> Ok ())
+        >>= fun () ->
+        (if wants_cost then
+           Result.map Option.some (predict_cost ~name ~at_iter ~niter)
+         else Ok None)
+        >>= fun prediction ->
+        let planned =
+          match (prediction, memory_budget) with
+          | Some p, Some budget when dry_run || schedule = `Planned ->
+              Some (budget, Scvad_cost.Plan.of_prediction p ~budget_nodes:budget)
+          | _ -> None
+        in
+        if dry_run then begin
+          let p = Option.get prediction in
+          print_plan A.name p planned;
+          Ok ()
+        end
+        else
+          let schedule =
+            match schedule with
+            | `Binomial -> Scvad_ad.Tape.Segmented.Binomial
+            | `Log_stride -> Scvad_ad.Tape.Segmented.Log_stride
+            | `All_store -> Scvad_ad.Tape.Segmented.All_store
+            | `Planned ->
+                let _, pl = Option.get planned in
+                Scvad_ad.Tape.Segmented.Planned pl.Scvad_cost.Plan.boundaries
+          in
+          let capacity_hint =
+            if auto_capacity && memory_budget = None then
+              Option.map (fun p -> p.Scvad_cost.Predict.p_total) prediction
+            else None
+          in
+          let config =
+            {
+              Scvad_core.Analyzer.Config.default with
+              Scvad_core.Analyzer.Config.mode;
+              at_iter;
+              niter;
+              jobs = Some jobs;
+              memory_budget;
+              schedule;
+              capacity_hint;
+            }
+          in
+          let r = Scvad_core.Analyzer.run ~config (module A) in
+          Ok (print_report r) )
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Scrutinize every element of the checkpoint variables with AD")
     Term.(
       const run $ app_arg $ mode_arg $ at_iter_arg $ niter_arg $ jobs_arg
-      $ memory_budget_arg $ schedule_arg)
+      $ memory_budget_arg $ schedule_arg $ plan_arg $ auto_capacity_arg)
 
 (* ------------------------------------------------------------------ *)
 (* visualize                                                           *)

@@ -524,18 +524,42 @@ let adjoint g id = if id < 0 || id > g.upto then 0. else g.adj.{id}
    bounds tape *node storage* (24 bytes per slot); callers size budgets
    accordingly. *)
 module Segmented = struct
-  type schedule = All_store | Log_stride | Binomial
+  type schedule =
+    | All_store
+    | Log_stride
+    | Binomial
+    | Planned of int list
+        (* precomputed snapshot boundaries, strictly increasing from 0 *)
 
   let schedule_to_string = function
     | All_store -> "all-store"
     | Log_stride -> "log-stride"
     | Binomial -> "binomial"
+    | Planned bs -> Printf.sprintf "planned[%d]" (List.length bs)
 
+  (* [Planned] carries a payload a string cannot supply; parsing stays
+     over the closed-form schedules only. *)
   let schedule_of_string = function
     | "all-store" -> Some All_store
     | "log-stride" -> Some Log_stride
     | "binomial" -> Some Binomial
     | _ -> None
+
+  let validate_plan bs =
+    let ok =
+      match bs with
+      | [] -> false
+      | b0 :: _ ->
+          b0 = 0
+          && fst
+               (List.fold_left
+                  (fun (ok, prev) b -> (ok && b > prev, b))
+                  (true, -1) bs)
+    in
+    if not ok then
+      invalid_arg
+        "Tape.Segmented: a Planned schedule must list strictly increasing \
+         boundary indices starting at 0"
 
   type mode = Recording | Replaying
 
@@ -592,6 +616,7 @@ module Segmented = struct
         (Printf.sprintf
            "Tape.Segmented.create: snapshot_slots must be >= 1 (got %d)"
            snapshot_slots);
+    (match schedule with Planned bs -> validate_plan bs | _ -> ());
     let sn =
       match slab_nodes with
       | Some s ->
@@ -788,6 +813,11 @@ module Segmented = struct
     t.nseg <- s + 1;
     match t.schedule with
     | All_store -> ()
+    | Planned bs ->
+        (* The plan was sized to the slots up front: no stride doubling,
+           no eviction — just take what the planner asked for. *)
+        if List.mem s bs && t.snap_cnt < t.snapshot_slots then
+          take_snapshot t s
     | Log_stride | Binomial ->
         if s mod t.stride = 0 then begin
           if t.snap_cnt >= t.snapshot_slots then begin
@@ -893,7 +923,10 @@ module Segmented = struct
       done;
       t.plan <-
         (match t.schedule with
-        | Binomial ->
+        | Binomial | Planned _ ->
+            (* Planned keeps every recording-time snapshot (no stride
+               eviction), so any still-free slots go to the same
+               binomial-optimal replay-time re-captures. *)
             binomial_plan ~base ~len:(!s_stop - base)
               ~slots:(t.snapshot_slots - t.snap_cnt)
         | All_store | Log_stride -> []);

@@ -66,10 +66,24 @@ module Segmented : sig
         only.
       - [Binomial] (default): [Log_stride] retention while recording,
         plus re-snapshotting at binomial-optimal split points during
-        each backward replay pass. *)
-  type schedule = All_store | Log_stride | Binomial
+        each backward replay pass.
+      - [Planned bs]: snapshot exactly at the precomputed boundary
+        indices [bs] (strictly increasing, starting at 0) — the output
+        of a static cost model that knew the per-segment node counts
+        before recording began.  Recording-time snapshots are never
+        evicted; replay passes still re-capture binomially into any
+        free slots.  [create] raises [Invalid_argument] on an empty,
+        unsorted, or non-zero-based plan. *)
+  type schedule =
+    | All_store
+    | Log_stride
+    | Binomial
+    | Planned of int list
 
   val schedule_to_string : schedule -> string
+
+  (** Parses the closed-form schedules only; [Planned] carries a
+      payload no string supplies. *)
   val schedule_of_string : string -> schedule option
 
   type t

@@ -113,10 +113,15 @@ let int_reports (module A : App.S) (int_vars : Variable.int_t list) =
    is zero / nonzero) and impact magnitudes (|derivative| per element),
    which power the mixed-precision extension.  Extraction — one scan of
    every snapshot plus the region encoding — fans out per variable. *)
-let reverse_analysis ?pool ?static ?(pruned = []) (module A : App.S)
-    ~at_iter ~niter =
+let reverse_analysis ?pool ?static ?(pruned = []) ?capacity_hint
+    (module A : App.S) ~at_iter ~niter =
   let skips = static_skips static @ pruned in
-  let tape = Tape.create ~capacity_hint:A.tape_nodes_hint () in
+  let capacity_hint =
+    (* A caller-supplied hint (e.g. the static cost model's exact
+       prediction) overrides the app's hand-maintained ballpark. *)
+    Option.value capacity_hint ~default:A.tape_nodes_hint
+  in
+  let tape = Tape.create ~capacity_hint () in
   let module RS = Reverse.Scalar_of (struct
     let tape = tape
   end) in
@@ -353,7 +358,7 @@ let forward_analysis ?pool ?static ?(pruned = []) (module A : App.S)
   }
 
 let analyze_with ~mode ~at_iter ?niter ?pool ?static ?discovered
-    ?memory_budget ~schedule (module A : App.S) =
+    ?memory_budget ~schedule ?capacity_hint (module A : App.S) =
   let niter = Option.value niter ~default:A.analysis_niter in
   if at_iter < 0 || at_iter >= niter then
     invalid_arg "Analyzer.run: need 0 <= at_iter < niter";
@@ -387,7 +392,9 @@ let analyze_with ~mode ~at_iter ?niter ?pool ?static ?discovered
           (module A)
           ~at_iter ~niter
     | Criticality.Reverse_gradient, None ->
-        reverse_analysis ?pool ?static ~pruned (module A) ~at_iter ~niter
+        reverse_analysis ?pool ?static ~pruned ?capacity_hint
+          (module A)
+          ~at_iter ~niter
     | Criticality.Activity_dependence, _ ->
         activity_analysis ?pool ?static ~pruned (module A) ~at_iter ~niter
     | Criticality.Forward_probe, _ ->
@@ -479,6 +486,9 @@ module Config = struct
     guard : guard_spec option;
     memory_budget : int option; (* tape node slots; None: dense tape *)
     schedule : Tape.Segmented.schedule;
+    capacity_hint : int option;
+        (* dense-tape preallocation, overriding the app's
+           [tape_nodes_hint] — e.g. the cost model's exact prediction *)
   }
 
   let default =
@@ -492,6 +502,7 @@ module Config = struct
       guard = None;
       memory_budget = None;
       schedule = Tape.Segmented.Binomial;
+      capacity_hint = None;
     }
 
   let with_mode mode c = { c with mode }
@@ -503,6 +514,7 @@ module Config = struct
   let with_guard g c = { c with guard = Some g }
   let with_memory_budget b c = { c with memory_budget = Some b }
   let with_schedule schedule c = { c with schedule }
+  let with_capacity_hint h c = { c with capacity_hint = Some h }
 end
 
 let run ?(config = Config.default) (module A : App.S) =
@@ -516,6 +528,7 @@ let run ?(config = Config.default) (module A : App.S) =
     guard;
     memory_budget;
     schedule;
+    capacity_hint;
   } =
     config
   in
@@ -526,11 +539,11 @@ let run ?(config = Config.default) (module A : App.S) =
   let report =
     if jobs = 1 then
       analyze_with ~mode ~at_iter ?niter ?static ?discovered ?memory_budget
-        ~schedule (module A)
+        ~schedule ?capacity_hint (module A)
     else
       Pool.with_pool ~jobs (fun pool ->
           analyze_with ~mode ~at_iter ?niter ~pool ?static ?discovered
-            ?memory_budget ~schedule (module A))
+            ?memory_budget ~schedule ?capacity_hint (module A))
   in
   maybe_guard guard (module A) report
 
@@ -550,6 +563,7 @@ let run_suite ?(config = Config.default) apps =
     guard;
     memory_budget;
     schedule;
+    capacity_hint;
   } =
     config
   in
@@ -560,7 +574,7 @@ let run_suite ?(config = Config.default) apps =
   let one pool app =
     maybe_guard guard app
       (analyze_with ~mode ~at_iter ?niter ?pool ?static ?discovered
-         ?memory_budget ~schedule app)
+         ?memory_budget ~schedule ?capacity_hint app)
   in
   if jobs = 1 then List.map (one None) apps
   else

@@ -35,8 +35,9 @@ type analysis = {
 
 (** One taped run + one backward sweep for all elements (what Enzyme
     does for the paper's authors); also yields impact magnitudes.  The
-    tape is sized from [App.S.tape_nodes_hint], so the common case
-    allocates its storage exactly once.
+    tape is sized from [capacity_hint] when given (e.g. the static cost
+    model's exact prediction), else [App.S.tape_nodes_hint], so the
+    common case allocates its storage exactly once.
 
     [static] pre-resolves the variables the static activity pass
     ({!Scvad_activity}) proved [Statically_inactive] for this app:
@@ -54,6 +55,7 @@ val reverse_analysis :
   ?pool:Scvad_par.Pool.t ->
   ?static:Scvad_activity.Verdict.app_verdicts ->
   ?pruned:string list ->
+  ?capacity_hint:int ->
   (module App.S) ->
   at_iter:int ->
   niter:int ->
@@ -178,7 +180,15 @@ module Config : sig
             modes, whose memory use does not motivate a budget. *)
     schedule : Scvad_ad.Tape.Segmented.schedule;
         (** recompute-vs-store schedule under [memory_budget]
-            (default [Binomial]) *)
+            (default [Binomial]).  [Planned] boundaries typically come
+            from the static cost model ([Scvad_cost.Plan]), computed
+            before any recording. *)
+    capacity_hint : int option;
+        (** dense-tape preallocation in nodes, overriding the app's
+            hand-maintained [tape_nodes_hint] — pass the static cost
+            model's exact prediction to allocate the tape right-sized
+            up front.  Ignored under [memory_budget] (the budget sizes
+            the segmented tape) and by the forward / activity modes. *)
   }
 
   val default : t
@@ -191,6 +201,7 @@ module Config : sig
   val with_guard : guard_spec -> t -> t
   val with_memory_budget : int -> t -> t
   val with_schedule : Scvad_ad.Tape.Segmented.schedule -> t -> t
+  val with_capacity_hint : int -> t -> t
 end
 
 (** [run ?config app] analyzes one benchmark under [config] (default

@@ -1,0 +1,897 @@
+(* Closure-compiling shadow interpreter over the kernels' own parsetrees.
+
+   The cost pass needs to execute `lib/npb` sources faithfully enough
+   that every AD-relevant event (one counting-scalar operation with an
+   active operand = one tape node) happens exactly as many times as in
+   the compiled program.  The strategy is the classic one: compile each
+   expression once to an OCaml closure over a slot-indexed frame
+   (`Value.t array`), so the per-step cost is a few loads rather than an
+   environment-walking `eval`.  Nested functions are flat-closure
+   converted — free variables are copied by value at closure creation,
+   which is semantically exact for OCaml (mutation lives in refs,
+   fields and arrays, all heap values).
+
+   Module structures are evaluated eagerly in source order; module
+   members live in write-once cells that compiled code dereferences at
+   run time, so `let rec` and forward references inside functor bodies
+   need no special machinery at the module level.  Functors become
+   functions from module values to module values and are re-evaluated
+   (hence re-compiled) per application — that is what lets the
+   prediction driver instantiate `Make_sized` at synthetic grid sizes
+   the repository never compiled.
+
+   Unsupported constructs compile to raising thunks instead of failing
+   the whole file: the taint-analysis helpers (`let module` over the
+   dependence tape) are never executed by the cost driver. *)
+
+open Parsetree
+open Asttypes
+open Value
+
+type cell = Value.t ref
+type code = Value.t array -> Value.t
+
+(* compile-time name resolution *)
+type access =
+  | Aslot of int  (* ordinary frame slot *)
+  | Amodslot of int  (* frame slot holding a first-class module *)
+  | Acell of cell  (* module member / builtin *)
+
+type scope = {
+  mutable locals : (string * access) list;  (* innermost first *)
+  mutable nslots : int;
+  resolve : string -> cell option;  (* module scope chain, then builtins *)
+}
+
+let alloc scope =
+  let s = scope.nslots in
+  scope.nslots <- s + 1;
+  s
+
+let loc_str (loc : Location.t) =
+  Printf.sprintf "%s:%d" loc.loc_start.Lexing.pos_fname
+    loc.loc_start.Lexing.pos_lnum
+
+let unsupported what loc : code =
+ fun _ -> err "unsupported at runtime: %s (%s)" what (loc_str loc)
+
+let rec lid_head = function
+  | Longident.Lident x -> x
+  | Longident.Ldot (p, _) -> lid_head p
+  | Longident.Lapply (p, _) -> lid_head p
+
+(* Syntactic over-approximation of the free names of an expression:
+   every unqualified identifier plus every head of a qualified path.
+   Over-capture of shadowed names only costs a copied slot. *)
+let free_names (e : expression) =
+  let t = Hashtbl.create 32 in
+  let expr (self : Ast_iterator.iterator) ex =
+    (match ex.pexp_desc with
+    | Pexp_ident { txt; _ } -> Hashtbl.replace t (lid_head txt) ()
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self ex
+  in
+  let module_expr (self : Ast_iterator.iterator) me =
+    (match me.pmod_desc with
+    | Pmod_ident { txt; _ } -> Hashtbl.replace t (lid_head txt) ()
+    | _ -> ());
+    Ast_iterator.default_iterator.module_expr self me
+  in
+  let it = { Ast_iterator.default_iterator with expr; module_expr } in
+  it.expr it e;
+  t
+
+let lookup_local scope name =
+  List.find_map
+    (fun (n, a) -> if String.equal n name then Some a else None)
+    scope.locals
+
+let const_value = function
+  | Pconst_integer (s, None) -> Vint (int_of_string s)
+  | Pconst_float (s, None) -> Vfloat (float_of_string s)
+  | Pconst_string (s, _, _) -> Vstr s
+  | Pconst_char c -> Vchar c
+  | Pconst_integer (_, Some _) | Pconst_float (_, Some _) ->
+      err "unsupported literal suffix"
+
+(* --- application --- *)
+
+let count_pos args =
+  List.fold_left
+    (fun n (lab, _) -> match lab with Nolabel -> n + 1 | _ -> n)
+    0 args
+
+let find_labelled l args =
+  List.find_map
+    (fun (lab, v) ->
+      match lab with
+      | Labelled l' when String.equal l l' -> Some v
+      | _ -> None)
+    args
+
+let rec apply f args =
+  if args = [] then f
+  else
+    match f with
+    | Vclo c -> call_clo c args
+    | Vprim (_, p) -> p args
+    | Vprim1 (n, p) -> (
+        match args with
+        | (Nolabel, x) :: rest ->
+            let r = p x in
+            if rest = [] then r else apply r rest
+        | _ -> err "%s: labelled argument" n)
+    | Vprim2 (n, p) -> (
+        match args with
+        | (Nolabel, x) :: (Nolabel, y) :: rest ->
+            let r = p x y in
+            if rest = [] then r else apply r rest
+        | [ (Nolabel, x) ] -> Vprim1 (n ^ "/partial", p x)
+        | _ -> err "%s: labelled argument" n)
+    | v -> err "cannot apply %s" (type_name v)
+
+and call_clo c args =
+  let npos_params =
+    List.fold_left
+      (fun n p -> match p.p_lab with Nolabel -> n + 1 | _ -> n)
+      0 c.c_params
+  in
+  let labelled_satisfied =
+    List.for_all
+      (fun p ->
+        match p.p_lab with
+        | Labelled l -> find_labelled l args <> None
+        | _ -> true)
+      c.c_params
+  in
+  if count_pos args < npos_params || not labelled_satisfied then
+    (* partial application: wait for the rest *)
+    Vprim (c.c_name ^ "/partial", fun more -> call_clo c (args @ more))
+  else begin
+    let fr = Array.make c.c_nslots Vunit in
+    Array.blit c.c_cap 0 fr 0 (Array.length c.c_cap);
+    let positionals =
+      List.filter_map
+        (fun (lab, v) -> match lab with Nolabel -> Some v | _ -> None)
+        args
+    in
+    let pos = ref positionals in
+    List.iter
+      (fun p ->
+        match p.p_lab with
+        | Nolabel -> (
+            match !pos with
+            | x :: t ->
+                pos := t;
+                p.p_bind fr x
+            | [] -> err "%s: missing positional argument" c.c_name)
+        | Labelled l -> (
+            match find_labelled l args with
+            | Some v -> p.p_bind fr v
+            | None -> err "%s: missing ~%s" c.c_name l)
+        | Optional l -> (
+            match (find_labelled l args, p.p_default) with
+            | Some v, Some _ -> p.p_bind fr v
+            | Some v, None -> p.p_bind fr (Vcon ("Some", Some v))
+            | None, Some d -> p.p_bind fr (d fr)
+            | None, None -> p.p_bind fr (Vcon ("None", None))))
+      c.c_params;
+    let leftover = !pos in
+    let r = c.c_body fr in
+    if leftover = [] then r
+    else apply r (List.map (fun v -> (Nolabel, v)) leftover)
+  end
+
+let () = Value.apply_ref := apply
+
+(* --- patterns --- *)
+
+(* Compiles a pattern to a binder; variable slots are appended to
+   [scope.locals] as a side effect, so callers snapshot/restore the
+   locals list to delimit binding regions. *)
+let rec comp_pat scope (p : pattern) : Value.t array -> Value.t -> bool =
+  match p.ppat_desc with
+  | Ppat_any -> fun _ _ -> true
+  | Ppat_var { txt; _ } ->
+      let s = alloc scope in
+      scope.locals <- (txt, Aslot s) :: scope.locals;
+      fun fr v ->
+        fr.(s) <- v;
+        true
+  | Ppat_alias (inner, { txt; _ }) ->
+      let s = alloc scope in
+      scope.locals <- (txt, Aslot s) :: scope.locals;
+      let b = comp_pat scope inner in
+      fun fr v ->
+        fr.(s) <- v;
+        b fr v
+  | Ppat_constant c ->
+      let cv = const_value c in
+      fun _ v -> equal_val v cv
+  | Ppat_tuple ps ->
+      let bs = List.map (comp_pat scope) ps in
+      let n = List.length bs in
+      fun fr v -> (
+        match v with
+        | Vtup a when Array.length a = n ->
+            List.for_all2 (fun b x -> b fr x) bs (Array.to_list a)
+        | _ -> err "tuple pattern vs %s" (type_name v))
+  | Ppat_construct ({ txt; _ }, None) -> (
+      match Longident.last txt with
+      | "()" -> fun _ _ -> true
+      | "true" -> fun _ v -> as_bool v
+      | "false" -> fun _ v -> not (as_bool v)
+      | "[]" -> fun _ v -> as_list v = []
+      | "None" -> (
+          fun _ v ->
+            match v with
+            | Vcon ("None", _) -> true
+            | Vcon _ -> false
+            | v -> err "option pattern vs %s" (type_name v))
+      | name -> (
+          fun _ v ->
+            match v with
+            | Vcon (n, None) -> String.equal n name
+            | Vcon _ -> false
+            | v -> err "constructor pattern %s vs %s" name (type_name v)))
+  | Ppat_construct ({ txt; _ }, Some (_, payload)) -> (
+      match Longident.last txt with
+      | "::" -> (
+          match payload.ppat_desc with
+          | Ppat_tuple [ hd; tl ] ->
+              let bh = comp_pat scope hd in
+              let bt = comp_pat scope tl in
+              fun fr v -> (
+                match as_list v with
+                | x :: rest -> bh fr x && bt fr (Vlist rest)
+                | [] -> false)
+          | _ -> err "unsupported cons pattern")
+      | name ->
+          let b = comp_pat scope payload in
+          fun fr v -> (
+            match v with
+            | Vcon (n, Some x) when String.equal n name -> b fr x
+            | Vcon _ -> false
+            | v -> err "constructor pattern %s vs %s" name (type_name v)))
+  | Ppat_record (fields, _) ->
+      let bs =
+        List.map
+          (fun ({ txt; _ }, fp) -> (Longident.last txt, comp_pat scope fp))
+          fields
+      in
+      fun fr v -> (
+        match v with
+        | Vrec r -> List.for_all (fun (n, b) -> b fr !(rec_field r n)) bs
+        | v -> err "record pattern vs %s" (type_name v))
+  | Ppat_or (a, b) ->
+      let before = scope.locals in
+      let ba = comp_pat scope a in
+      if scope.locals != before then err "or-pattern with bindings";
+      let bb = comp_pat scope b in
+      if scope.locals != before then err "or-pattern with bindings";
+      fun fr v -> ba fr v || bb fr v
+  | Ppat_constraint (inner, _) -> comp_pat scope inner
+  | Ppat_unpack { txt = Some name; _ } ->
+      let s = alloc scope in
+      scope.locals <- (name, Amodslot s) :: scope.locals;
+      fun fr v ->
+        fr.(s) <- v;
+        true
+  | Ppat_unpack { txt = None; _ } -> fun _ _ -> true
+  | _ -> err "unsupported pattern (%s)" (loc_str p.ppat_loc)
+
+(* names bound by a pattern, for module-level bindings *)
+let pattern_names scope ~before =
+  let rec take acc l =
+    if l == before then acc
+    else
+      match l with
+      | (n, Aslot s) :: rest -> take ((n, s) :: acc) rest
+      | _ :: rest -> take acc rest
+      | [] -> acc
+  in
+  take [] scope.locals
+
+(* --- module paths (compile time) --- *)
+
+type mod_res = Mval of Value.t | Mslot of int
+
+let rec resolve_mod scope lid : mod_res option =
+  match lid with
+  | Longident.Lident x -> (
+      match lookup_local scope x with
+      | Some (Amodslot s) -> Some (Mslot s)
+      | Some (Acell c) -> Some (Mval !c)
+      | Some (Aslot _) -> None
+      | None -> (
+          match scope.resolve x with Some c -> Some (Mval !c) | None -> None))
+  | Longident.Ldot (p, x) -> (
+      match resolve_mod scope p with
+      | Some (Mval (Vmod m)) -> (
+          match Hashtbl.find_opt m x with
+          | Some c -> Some (Mval !c)
+          | None -> None)
+      | _ -> None)
+  | Longident.Lapply _ -> None
+
+type ident_res = Islot of int | Icell of cell | Icode of code | Inone
+
+let resolve_ident scope lid : ident_res =
+  match lid with
+  | Longident.Lident x -> (
+      match lookup_local scope x with
+      | Some (Aslot s) | Some (Amodslot s) -> Islot s
+      | Some (Acell c) -> Icell c
+      | None -> (
+          match scope.resolve x with Some c -> Icell c | None -> Inone))
+  | Longident.Ldot (p, x) -> (
+      match resolve_mod scope p with
+      | Some (Mval (Vmod m)) -> (
+          match Hashtbl.find_opt m x with Some c -> Icell c | None -> Inone)
+      | Some (Mslot s) ->
+          Icode
+            (fun fr ->
+              match fr.(s) with
+              | Vmod m -> (
+                  match Hashtbl.find_opt m x with
+                  | Some c -> !c
+                  | None -> err "module member %s not found" x)
+              | v -> err "expected module, got %s" (type_name v))
+      | _ -> Inone)
+  | Longident.Lapply _ -> Inone
+
+(* --- expressions --- *)
+
+let rec comp scope (e : expression) : code =
+  match e.pexp_desc with
+  | Pexp_constant c ->
+      let v = const_value c in
+      fun _ -> v
+  | Pexp_ident { txt; loc } -> (
+      match resolve_ident scope txt with
+      | Islot s -> fun fr -> fr.(s)
+      | Icell c -> fun _ -> !c
+      | Icode f -> f
+      | Inone ->
+          let name = String.concat "." (Longident.flatten txt) in
+          fun _ -> err "unbound identifier %s (%s)" name (loc_str loc))
+  | Pexp_let (Nonrecursive, vbs, body) ->
+      (* all RHSs see the outer scope; patterns bind after *)
+      let rhss = List.map (fun vb -> comp scope vb.pvb_expr) vbs in
+      let before = scope.locals in
+      let binders = List.map (fun vb -> comp_pat scope vb.pvb_pat) vbs in
+      let body_code = comp scope body in
+      scope.locals <- before;
+      fun fr ->
+        List.iter2
+          (fun rhs binder ->
+            let v = rhs fr in
+            if not (binder fr v) then raise (exc "Match_failure" None))
+          rhss binders;
+        body_code fr
+  | Pexp_let (Recursive, vbs, body) ->
+      comp_letrec scope vbs body
+  | Pexp_fun _ | Pexp_function _ ->
+      let mk, _capmap = comp_function scope e in
+      mk
+  | Pexp_apply (callee, args) -> comp_apply scope e.pexp_loc callee args
+  | Pexp_match (subject, cases) ->
+      let cs = comp scope subject in
+      let m = comp_cases scope cases in
+      fun fr -> (
+        match m fr (cs fr) with
+        | Some r -> r
+        | None -> raise (exc "Match_failure" None))
+  | Pexp_try (body, cases) ->
+      let cb = comp scope body in
+      let m = comp_cases scope cases in
+      fun fr -> (
+        try cb fr
+        with Exc v as exn -> (
+          match m fr v with Some r -> r | None -> raise exn))
+  | Pexp_tuple es ->
+      let cs = List.map (comp scope) es in
+      let n = List.length cs in
+      fun fr ->
+        let a = Array.make n Vunit in
+        List.iteri (fun i c -> a.(i) <- c fr) cs;
+        Vtup a
+  | Pexp_construct ({ txt; _ }, arg) -> (
+      match (Longident.last txt, arg) with
+      | "()", None -> fun _ -> Vunit
+      | "true", None -> fun _ -> Vbool true
+      | "false", None -> fun _ -> Vbool false
+      | "[]", None -> fun _ -> Vlist []
+      | "::", Some { pexp_desc = Pexp_tuple [ hd; tl ]; _ } ->
+          let ch = comp scope hd and ct = comp scope tl in
+          fun fr -> Vlist (ch fr :: as_list (ct fr))
+      | name, None -> fun _ -> Vcon (name, None)
+      | name, Some payload ->
+          let cp = comp scope payload in
+          fun fr -> Vcon (name, Some (cp fr)))
+  | Pexp_record (fields, base) ->
+      let cfields =
+        List.map
+          (fun ({ txt; _ }, fe) -> (Longident.last txt, comp scope fe))
+          fields
+      in
+      (match base with
+      | None ->
+          fun fr ->
+            Vrec
+              (Array.of_list
+                 (List.map (fun (n, c) -> (n, ref (c fr))) cfields))
+      | Some be ->
+          let cb = comp scope be in
+          fun fr -> (
+            match cb fr with
+            | Vrec r ->
+                let r' = Array.map (fun (n, cell) -> (n, ref !cell)) r in
+                List.iter
+                  (fun (n, c) -> rec_field r' n := c fr)
+                  cfields;
+                Vrec r'
+            | v -> err "record update on %s" (type_name v)))
+  | Pexp_field (re, { txt; _ }) ->
+      let cr = comp scope re in
+      let name = Longident.last txt in
+      fun fr -> (
+        match cr fr with
+        | Vrec r -> !(rec_field r name)
+        | v -> err "field %s of %s" name (type_name v))
+  | Pexp_setfield (re, { txt; _ }, ve) ->
+      let cr = comp scope re in
+      let cv = comp scope ve in
+      let name = Longident.last txt in
+      fun fr -> (
+        match cr fr with
+        | Vrec r ->
+            rec_field r name := cv fr;
+            Vunit
+        | v -> err "setfield %s of %s" name (type_name v))
+  | Pexp_array es ->
+      let cs = Array.of_list (List.map (comp scope) es) in
+      fun fr -> Varr (Array.map (fun c -> c fr) cs)
+  | Pexp_ifthenelse (ce, te, fe) -> (
+      let cc = comp scope ce in
+      let ct = comp scope te in
+      match fe with
+      | Some fe ->
+          let cf = comp scope fe in
+          fun fr -> if as_bool (cc fr) then ct fr else cf fr
+      | None ->
+          fun fr ->
+            if as_bool (cc fr) then ignore (ct fr);
+            Vunit)
+  | Pexp_sequence (a, b) ->
+      let ca = comp scope a and cb = comp scope b in
+      fun fr ->
+        ignore (ca fr);
+        cb fr
+  | Pexp_while (ce, be) ->
+      let cc = comp scope ce and cb = comp scope be in
+      fun fr ->
+        while as_bool (cc fr) do
+          ignore (cb fr)
+        done;
+        Vunit
+  | Pexp_for (pat, lo, hi, dir, body) ->
+      let cl = comp scope lo and ch = comp scope hi in
+      let before = scope.locals in
+      let slot =
+        match pat.ppat_desc with
+        | Ppat_var { txt; _ } ->
+            let s = alloc scope in
+            scope.locals <- (txt, Aslot s) :: scope.locals;
+            Some s
+        | Ppat_any -> None
+        | _ -> err "unsupported for-loop pattern"
+      in
+      let cb = comp scope body in
+      scope.locals <- before;
+      let set fr i =
+        match slot with Some s -> fr.(s) <- Vint i | None -> ()
+      in
+      fun fr ->
+        let a = as_int (cl fr) and b = as_int (ch fr) in
+        (match dir with
+        | Upto ->
+            for i = a to b do
+              set fr i;
+              ignore (cb fr)
+            done
+        | Downto ->
+            for i = a downto b do
+              set fr i;
+              ignore (cb fr)
+            done);
+        Vunit
+  | Pexp_constraint (inner, _) | Pexp_coerce (inner, _, _) -> comp scope inner
+  | Pexp_open (od, body) -> (
+      match od.popen_expr.pmod_desc with
+      | Pmod_ident { txt; _ } -> (
+          match resolve_mod scope txt with
+          | Some (Mval (Vmod m)) ->
+              let before = scope.locals in
+              Hashtbl.iter
+                (fun n c -> scope.locals <- (n, Acell c) :: scope.locals)
+                m;
+              let cb = comp scope body in
+              scope.locals <- before;
+              cb
+          | _ -> unsupported "open of unresolved module" e.pexp_loc)
+      | _ -> unsupported "open of non-ident module" e.pexp_loc)
+  | Pexp_letmodule _ ->
+      (* only the taint-analysis helpers use this; they are never
+         executed by the cost driver *)
+      unsupported "let module" e.pexp_loc
+  | Pexp_lazy inner ->
+      (* the kernels only use lazy for pure shape values; evaluate
+         eagerly, Lazy.force is the identity *)
+      comp scope inner
+  | Pexp_assert inner -> (
+      match inner.pexp_desc with
+      | Pexp_construct ({ txt = Longident.Lident "false"; _ }, None) ->
+          fun _ -> raise (exc "Assert_failure" None)
+      | _ ->
+          let ci = comp scope inner in
+          fun fr ->
+            if as_bool (ci fr) then Vunit
+            else raise (exc "Assert_failure" None))
+  | Pexp_pack me -> (
+      match me.pmod_desc with
+      | Pmod_ident { txt; _ } -> (
+          match resolve_mod scope txt with
+          | Some (Mval v) -> fun _ -> v
+          | Some (Mslot s) -> fun fr -> fr.(s)
+          | None -> unsupported "pack of unresolved module" e.pexp_loc)
+      | _ -> unsupported "pack of non-ident module" e.pexp_loc)
+  | _ -> unsupported "expression form" e.pexp_loc
+
+and comp_letrec scope vbs body =
+  let before = scope.locals in
+  (* bind all names first *)
+  let slots =
+    List.map
+      (fun vb ->
+        match vb.pvb_pat.ppat_desc with
+        | Ppat_var { txt; _ } ->
+            let s = alloc scope in
+            scope.locals <- (txt, Aslot s) :: scope.locals;
+            (txt, s)
+        | _ -> err "let rec: non-variable pattern")
+      vbs
+  in
+  let mks =
+    List.map
+      (fun vb ->
+        match vb.pvb_expr.pexp_desc with
+        | Pexp_fun _ | Pexp_function _ -> comp_function scope vb.pvb_expr
+        | _ -> err "let rec: non-function binding")
+      vbs
+  in
+  let body_code = comp scope body in
+  scope.locals <- before;
+  let rec_names = List.map fst slots in
+  fun fr ->
+    (* create all closures, then backpatch their self/mutual captures *)
+    let clos =
+      List.map2
+        (fun (_, s) (mk, capmap) ->
+          let v = mk fr in
+          fr.(s) <- v;
+          (v, capmap))
+        slots mks
+    in
+    List.iter
+      (fun (v, capmap) ->
+        match v with
+        | Vclo c ->
+            List.iter
+              (fun (name, idx) ->
+                if List.mem name rec_names then
+                  let slot = List.assoc name slots in
+                  c.c_cap.(idx) <- fr.(slot))
+              capmap
+        | _ -> ())
+      clos;
+    body_code fr
+
+(* Compiles a function expression; returns the closure-creation code
+   and the capture map (name -> capture index) for letrec patching. *)
+and comp_function scope (e : expression) : code * (string * int) list =
+  (* collect the parameter chain *)
+  let rec collect acc ex =
+    match ex.pexp_desc with
+    | Pexp_fun (lab, default, pat, body) ->
+        collect ((lab, default, pat) :: acc) body
+    | _ -> (List.rev acc, ex)
+  in
+  let params_syn, body_syn = collect [] e in
+  let free = free_names e in
+  (* innermost-first walk; keep the first (innermost) occurrence only *)
+  let seen = Hashtbl.create 16 in
+  let caps = ref [] (* (enclosing access, name, inner slot) in order *) in
+  let inner =
+    { locals = []; nslots = 0; resolve = scope.resolve }
+  in
+  List.iter
+    (fun (n, a) ->
+      if Hashtbl.mem free n && not (Hashtbl.mem seen n) then begin
+        Hashtbl.replace seen n ();
+        match a with
+        | Aslot s ->
+            let i = alloc inner in
+            inner.locals <- inner.locals @ [ (n, Aslot i) ];
+            caps := (s, n, i) :: !caps
+        | Amodslot s ->
+            let i = alloc inner in
+            inner.locals <- inner.locals @ [ (n, Amodslot i) ];
+            caps := (s, n, i) :: !caps
+        | Acell c -> inner.locals <- inner.locals @ [ (n, Acell c) ]
+      end)
+    scope.locals;
+  let caps = List.rev !caps in
+  let cap_slots = Array.of_list (List.map (fun (s, _, _) -> s) caps) in
+  let capmap = List.map (fun (_, n, i) -> (n, i)) caps in
+  (* parameters *)
+  let params =
+    List.map
+      (fun (lab, default, pat) ->
+        let bind = comp_pat inner pat in
+        let p_default = Option.map (comp inner) default in
+        {
+          p_lab = lab;
+          p_bind =
+            (fun fr v ->
+              if not (bind fr v) then raise (exc "Match_failure" None));
+          p_default;
+        })
+      params_syn
+  in
+  (* a final `function` keyword adds one parameter plus a match *)
+  let params, body_code =
+    match body_syn.pexp_desc with
+    | Pexp_function cases ->
+        let s = alloc inner in
+        let m = comp_cases inner cases in
+        ( params
+          @ [
+              {
+                p_lab = Nolabel;
+                p_bind = (fun fr v -> fr.(s) <- v);
+                p_default = None;
+              };
+            ],
+          fun fr ->
+            match m fr fr.(s) with
+            | Some r -> r
+            | None -> raise (exc "Match_failure" None) )
+    | _ -> (params, comp inner body_syn)
+  in
+  if params = [] then err "function with no parameters";
+  let c_name = "fn" in
+  let mk fr =
+    Vclo
+      {
+        c_name;
+        c_params = params;
+        c_nslots = inner.nslots;
+        c_cap = Array.map (fun s -> fr.(s)) cap_slots;
+        c_body = body_code;
+      }
+  in
+  (mk, capmap)
+
+and comp_cases scope cases : Value.t array -> Value.t -> Value.t option =
+  let compiled =
+    List.map
+      (fun c ->
+        let before = scope.locals in
+        let binder = comp_pat scope c.pc_lhs in
+        let guard = Option.map (comp scope) c.pc_guard in
+        let body = comp scope c.pc_rhs in
+        scope.locals <- before;
+        (binder, guard, body))
+      cases
+  in
+  fun fr v ->
+    let rec go = function
+      | [] -> None
+      | (binder, guard, body) :: rest ->
+          if
+            binder fr v
+            && match guard with None -> true | Some g -> as_bool (g fr)
+          then Some (body fr)
+          else go rest
+    in
+    go compiled
+
+and comp_apply scope loc callee args =
+  match callee.pexp_desc with
+  (* short-circuit operators *)
+  | Pexp_ident { txt = Longident.Lident "&&"; _ }
+    when count_pos args = 2 && List.length args = 2 ->
+      let ca, cb =
+        match args with
+        | [ (_, a); (_, b) ] -> (comp scope a, comp scope b)
+        | _ -> assert false
+      in
+      fun fr -> Vbool (as_bool (ca fr) && as_bool (cb fr))
+  | Pexp_ident { txt = Longident.Lident "||"; _ }
+    when count_pos args = 2 && List.length args = 2 ->
+      let ca, cb =
+        match args with
+        | [ (_, a); (_, b) ] -> (comp scope a, comp scope b)
+        | _ -> assert false
+      in
+      fun fr -> Vbool (as_bool (ca fr) || as_bool (cb fr))
+  | Pexp_ident { txt; _ } -> (
+      let generic cell_code =
+        let cargs = List.map (fun (lab, a) -> (lab, comp scope a)) args in
+        fun fr ->
+          apply (cell_code fr) (List.map (fun (lab, c) -> (lab, c fr)) cargs)
+      in
+      match resolve_ident scope txt with
+      | Icell cell -> (
+          (* direct call threading for fixed-arity primitives: module
+             member cells are written once before any caller compiles *)
+          match (!cell, args) with
+          | Vprim2 (_, f), [ (Nolabel, a); (Nolabel, b) ] ->
+              let ca = comp scope a and cb = comp scope b in
+              fun fr -> f (ca fr) (cb fr)
+          | Vprim1 (_, f), [ (Nolabel, a) ] ->
+              let ca = comp scope a in
+              fun fr -> f (ca fr)
+          | _ -> generic (fun _ -> !cell))
+      | Islot s -> generic (fun fr -> fr.(s))
+      | Icode f -> generic f
+      | Inone ->
+          let name = String.concat "." (Longident.flatten txt) in
+          fun _ -> err "unbound function %s (%s)" name (loc_str loc))
+  | _ ->
+      let cc = comp scope callee in
+      let cargs = List.map (fun (lab, a) -> (lab, comp scope a)) args in
+      fun fr -> apply (cc fr) (List.map (fun (lab, c) -> (lab, c fr)) cargs)
+
+(* --- structures and modules --- *)
+
+let run_code scope code binder =
+  let fr = Array.make (Stdlib.max scope.nslots 1) Vunit in
+  let v = code fr in
+  binder fr v;
+  fr
+
+let eval_binding resolve (vb : value_binding) : (string * cell) list =
+  let scope = { locals = []; nslots = 0; resolve } in
+  let code = comp scope vb.pvb_expr in
+  let before = scope.locals in
+  let binder = comp_pat scope vb.pvb_pat in
+  let names = pattern_names scope ~before in
+  let fr =
+    run_code scope code (fun fr v ->
+        if not (binder fr v) then raise (exc "Match_failure" None))
+  in
+  List.map (fun (n, s) -> (n, ref fr.(s))) names
+
+let rec eval_structure (resolve : string -> cell option) (items : structure) :
+    modl =
+  let table : modl = Hashtbl.create 32 in
+  let opens = ref [] in
+  let resolve_cur n =
+    match Hashtbl.find_opt table n with
+    | Some c -> Some c
+    | None -> (
+        let rec from_opens = function
+          | [] -> resolve n
+          | m :: rest -> (
+              match Hashtbl.find_opt m n with
+              | Some c -> Some c
+              | None -> from_opens rest)
+        in
+        from_opens !opens)
+  in
+  List.iter
+    (fun (item : structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (Nonrecursive, vbs) ->
+          List.iter
+            (fun vb ->
+              List.iter
+                (fun (n, c) -> Hashtbl.replace table n c)
+                (eval_binding resolve_cur vb))
+            vbs
+      | Pstr_value (Recursive, vbs) ->
+          (* pre-create member cells so function bodies can refer to the
+             whole group through the resolver *)
+          let cells =
+            List.map
+              (fun vb ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt; _ } ->
+                    let c = ref Vunit in
+                    Hashtbl.replace table txt c;
+                    (vb, c)
+                | _ -> err "module-level let rec: non-variable pattern")
+              vbs
+          in
+          List.iter
+            (fun (vb, c) ->
+              let scope = { locals = []; nslots = 0; resolve = resolve_cur } in
+              let code = comp scope vb.pvb_expr in
+              let fr = Array.make (Stdlib.max scope.nslots 1) Vunit in
+              c := code fr)
+            cells
+      | Pstr_module mb -> (
+          match mb.pmb_name.txt with
+          | Some name ->
+              let v = eval_module resolve_cur mb.pmb_expr in
+              Hashtbl.replace table name (ref v)
+          | None -> ())
+      | Pstr_include incl -> (
+          match eval_module resolve_cur incl.pincl_mod with
+          | Vmod m -> Hashtbl.iter (fun n c -> Hashtbl.replace table n c) m
+          | _ -> err "include of non-structure module")
+      | Pstr_open od -> (
+          match od.popen_expr.pmod_desc with
+          | Pmod_ident { txt; _ } -> (
+              match
+                resolve_mod
+                  { locals = []; nslots = 0; resolve = resolve_cur }
+                  txt
+              with
+              | Some (Mval (Vmod m)) -> opens := m :: !opens
+              | _ -> err "open of unresolved module")
+          | _ -> err "open of non-ident module at structure level")
+      | Pstr_eval (e, _) ->
+          let scope = { locals = []; nslots = 0; resolve = resolve_cur } in
+          let code = comp scope e in
+          let fr = Array.make (Stdlib.max scope.nslots 1) Vunit in
+          ignore (code fr)
+      | Pstr_type _ | Pstr_typext _ | Pstr_exception _ | Pstr_modtype _
+      | Pstr_attribute _ | Pstr_extension _ | Pstr_primitive _ ->
+          ()
+      | _ -> err "unsupported structure item")
+    items;
+  table
+
+and eval_module resolve (me : module_expr) : Value.t =
+  match me.pmod_desc with
+  | Pmod_ident { txt; _ } -> (
+      match
+        resolve_mod { locals = []; nslots = 0; resolve } txt
+      with
+      | Some (Mval v) -> v
+      | _ ->
+          err "unresolved module %s" (String.concat "." (Longident.flatten txt)))
+  | Pmod_structure s -> Vmod (eval_structure resolve s)
+  | Pmod_functor (param, body) -> (
+      match param with
+      | Named ({ txt = Some name; _ }, _) ->
+          Vfunctor
+            ( name,
+              fun arg ->
+                let c = ref arg in
+                eval_module
+                  (fun n -> if String.equal n name then Some c else resolve n)
+                  body )
+      | Named ({ txt = None; _ }, _) | Unit ->
+          Vfunctor ("_", fun _ -> eval_module resolve body))
+  | Pmod_apply (f, a) -> (
+      let vf = eval_module resolve f in
+      let va = eval_module resolve a in
+      match vf with
+      | Vfunctor (_, fn) -> fn va
+      | v -> err "application of non-functor %s" (type_name v))
+  | Pmod_constraint (m, _) -> eval_module resolve m
+  | _ -> err "unsupported module expression"
+
+(* Applies an already-evaluated functor value (possibly curried, e.g.
+   [Make_sized (G) (S)]) to module arguments. *)
+let apply_functor f args =
+  List.fold_left
+    (fun f arg ->
+      match f with
+      | Vfunctor (_, fn) -> fn arg
+      | v -> err "application of non-functor %s" (type_name v))
+    f args

@@ -1,0 +1,539 @@
+(* Builtin environment of the shadow interpreter: the slice of the
+   stdlib the kernels use, plus concrete models of the repository
+   libraries the cost pass must not execute for real ([Scvad_nd.Shape],
+   [Scvad_core.Variable]) and the counting scalar that stands in for
+   both the analysis scalar and [Scvad_ad.Float_scalar].
+
+   Everything here is CONCRETE: float arithmetic calls the same stdlib
+   primitives the compiled kernels call, in the same order, so PRNG
+   streams, branch decisions and data-dependent loop trip counts match
+   the real execution bit for bit. *)
+
+open Value
+
+type t = {
+  env : (string, Value.t ref) Hashtbl.t;
+      (** bare names and stdlib/repository module names *)
+  pushes : int ref;
+      (** tape nodes the counting scalar has recorded so far *)
+  scalar : Value.t;
+      (** the counting scalar module — the value passed as the [S]
+          functor argument, and what [Scvad_ad.Float_scalar] resolves
+          to (that one only ever sees constants, which never count) *)
+}
+
+let cell v = ref v
+
+let vmod bindings =
+  let t = Hashtbl.create (List.length bindings * 2) in
+  List.iter (fun (n, v) -> Hashtbl.replace t n (cell v)) bindings;
+  Vmod t
+
+let prim1 name f = Vprim1 (name, f)
+let prim2 name f = Vprim2 (name, f)
+let prim name f = Vprim (name, f)
+
+let positional name args =
+  List.map
+    (fun (lab, v) ->
+      match lab with
+      | Asttypes.Nolabel -> v
+      | _ -> err "%s: unexpected labelled argument" name)
+    args
+
+(* labelled-argument helpers for the Variable builtins *)
+let find_lab label args =
+  List.find_map
+    (fun (lab, v) ->
+      match lab with
+      | Asttypes.Labelled l when String.equal l label -> Some v
+      | _ -> None)
+    args
+
+let req_lab name label args =
+  match find_lab label args with
+  | Some v -> v
+  | None -> err "%s: missing ~%s" name label
+
+let positional_only args =
+  List.filter_map
+    (fun (lab, v) ->
+      match lab with Asttypes.Nolabel -> Some v | _ -> None)
+    args
+
+let int1 name f = prim1 name (fun x -> Vint (f (as_int x)))
+let int2 name f = prim2 name (fun a b -> Vint (f (as_int a) (as_int b)))
+let float2 name f = prim2 name (fun a b -> Vfloat (f (as_float a) (as_float b)))
+let float1 name f = prim1 name (fun x -> Vfloat (f (as_float x)))
+let cmp2 name f = prim2 name (fun a b -> Vbool (f (compare_val a b) 0))
+
+let bounds_check name a i =
+  if i < 0 || i >= Array.length a then
+    invalid_argument (name ^ ": index out of bounds")
+
+(* --- The counting scalar (models lib/ad/reverse.ml's push rules) --- *)
+
+(* One arithmetic result is one tape node iff any operand is active;
+   results of counted ops are active, constant folds stay constant —
+   exactly [Reverse]'s [if a.id >= 0 || b.id >= 0 then node2 ...]. *)
+let scalar_module pushes =
+  let mk act v = Vsc { act; v } in
+  let bin name f =
+    prim2 name (fun a b ->
+        let a = as_sc a and b = as_sc b in
+        let act = a.act || b.act in
+        if act then incr pushes;
+        mk act (f a.v b.v))
+  in
+  let un name f =
+    prim1 name (fun x ->
+        let x = as_sc x in
+        if x.act then incr pushes;
+        mk x.act (f x.v))
+  in
+  let fcmp name f =
+    prim2 name (fun a b -> Vbool (f (as_sc a).v (as_sc b).v))
+  in
+  vmod
+    [
+      ("zero", mk false 0.);
+      ("one", mk false 1.);
+      ("of_float", prim1 "of_float" (fun v -> mk false (as_float v)));
+      ("of_int", prim1 "of_int" (fun v -> mk false (float_of_int (as_int v))));
+      (* [to_float] returns the primal — activity is dropped on purpose,
+         mirroring the kill-before-read round trip EP's buffer does *)
+      ("to_float", prim1 "to_float" (fun v -> Vfloat (as_sc v).v));
+      ("+.", bin "+." ( +. ));
+      ("-.", bin "-." ( -. ));
+      ("*.", bin "*." ( *. ));
+      ("/.", bin "/." ( /. ));
+      ("~-.", un "~-." (fun v -> -.v));
+      ("sqrt", un "sqrt" sqrt);
+      ("exp", un "exp" exp);
+      ("log", un "log" log);
+      ("sin", un "sin" sin);
+      ("cos", un "cos" cos);
+      ("abs", un "abs" Float.abs);
+      ( "max",
+        prim2 "max" (fun a b ->
+            let a = as_sc a and b = as_sc b in
+            let act = a.act || b.act in
+            if act then incr pushes;
+            mk act (Stdlib.max a.v b.v)) );
+      ( "min",
+        prim2 "min" (fun a b ->
+            let a = as_sc a and b = as_sc b in
+            let act = a.act || b.act in
+            if act then incr pushes;
+            mk act (Stdlib.min a.v b.v)) );
+      ( "compare",
+        prim2 "compare" (fun a b -> Vint (Float.compare (as_sc a).v (as_sc b).v))
+      );
+      ("equal", fcmp "equal" (fun a b -> Float.equal a b));
+      ("<", fcmp "<" ( < ));
+      ("<=", fcmp "<=" ( <= ));
+      (">", fcmp ">" ( > ));
+      (">=", fcmp ">=" ( >= ));
+    ]
+
+(* --- Repository library models --- *)
+
+(* A shape is only ever asked for its element count here. *)
+let shape_module =
+  vmod
+    [
+      ( "create",
+        prim1 "Shape.create" (fun dims ->
+            Vint
+              (List.fold_left (fun acc d -> acc * as_int d) 1 (as_list dims)))
+      );
+      ("scalar", Vint 1);
+    ]
+
+(* Checkpoint variables surface as records the cost driver reads
+   directly; [get]/[set] keep whatever closure convention the app's own
+   [float_vars] used. *)
+let variable_value ~name ~elements ~spe ~get ~set =
+  Vrec
+    [|
+      ("name", cell (Vstr name));
+      ("elements", cell (Vint elements));
+      ("spe", cell (Vint spe));
+      ("get", cell get);
+      ("set", cell set);
+    |]
+
+let variable_module =
+  let of_array =
+    prim "Variable.of_array" (fun args ->
+        let name = as_str (req_lab "of_array" "name" args) in
+        match positional_only args with
+        | [ shape; arr ] ->
+            let a = as_arr arr in
+            variable_value ~name ~elements:(as_int shape) ~spe:1
+              ~get:
+                (prim2 "get" (fun e _k ->
+                     let i = as_int e in
+                     bounds_check "of_array.get" a i;
+                     a.(i)))
+              ~set:
+                (prim "set" (fun args ->
+                     match positional "set" args with
+                     | [ e; _k; v ] ->
+                         let i = as_int e in
+                         bounds_check "of_array.set" a i;
+                         a.(i) <- v;
+                         Vunit
+                     | _ -> err "of_array.set arity"))
+        | _ -> err "of_array: expected shape and array")
+  in
+  let of_ref =
+    prim "Variable.of_ref" (fun args ->
+        let name = as_str (req_lab "of_ref" "name" args) in
+        match positional_only args with
+        | [ r ] ->
+            let r = as_ref r in
+            variable_value ~name ~elements:1 ~spe:1
+              ~get:(prim2 "get" (fun _ _ -> !r))
+              ~set:
+                (prim "set" (fun args ->
+                     match positional "set" args with
+                     | [ _; _; v ] ->
+                         r := v;
+                         Vunit
+                     | _ -> err "of_ref.set arity"))
+        | _ -> err "of_ref: expected one ref")
+  in
+  let make =
+    prim "Variable.make" (fun args ->
+        let name = as_str (req_lab "make" "name" args) in
+        let shape = as_int (req_lab "make" "shape" args) in
+        let spe = as_int (req_lab "make" "spe" args) in
+        let get = req_lab "make" "get" args in
+        let set = req_lab "make" "set" args in
+        variable_value ~name ~elements:shape ~spe ~get ~set)
+  in
+  vmod [ ("of_array", of_array); ("of_ref", of_ref); ("make", make) ]
+
+(* --- Assembling the environment --- *)
+
+let make () =
+  let pushes = ref 0 in
+  let env = Hashtbl.create 256 in
+  let def n v = Hashtbl.replace env n (cell v) in
+  (* ints *)
+  def "+" (int2 "+" ( + ));
+  def "-" (int2 "-" ( - ));
+  def "*" (int2 "*" ( * ));
+  def "/"
+    (prim2 "/" (fun a b ->
+         let b = as_int b in
+         if b = 0 then raise (exc "Division_by_zero" None);
+         Vint (as_int a / b)));
+  def "mod"
+    (prim2 "mod" (fun a b ->
+         let b = as_int b in
+         if b = 0 then raise (exc "Division_by_zero" None);
+         Vint (as_int a mod b)));
+  def "land" (int2 "land" ( land ));
+  def "lor" (int2 "lor" ( lor ));
+  def "lxor" (int2 "lxor" ( lxor ));
+  def "lsl" (int2 "lsl" ( lsl ));
+  def "lsr" (int2 "lsr" ( lsr ));
+  def "asr" (int2 "asr" ( asr ));
+  def "abs" (int1 "abs" Stdlib.abs);
+  def "succ" (int1 "succ" succ);
+  def "pred" (int1 "pred" pred);
+  def "~-" (int1 "~-" (fun n -> -n));
+  def "~+" (prim1 "~+" (fun v -> v));
+  (* floats *)
+  def "+." (float2 "+." ( +. ));
+  def "-." (float2 "-." ( -. ));
+  def "*." (float2 "*." ( *. ));
+  def "/." (float2 "/." ( /. ));
+  def "**" (float2 "**" ( ** ));
+  def "~-." (float1 "~-." (fun v -> -.v));
+  def "sqrt" (float1 "sqrt" sqrt);
+  def "exp" (float1 "exp" exp);
+  def "log" (float1 "log" log);
+  def "sin" (float1 "sin" sin);
+  def "cos" (float1 "cos" cos);
+  def "tan" (float1 "tan" tan);
+  def "atan" (float1 "atan" atan);
+  def "atan2" (float2 "atan2" atan2);
+  def "floor" (float1 "floor" floor);
+  def "ceil" (float1 "ceil" ceil);
+  def "abs_float" (float1 "abs_float" Float.abs);
+  def "float_of_int" (prim1 "float_of_int" (fun v -> Vfloat (float_of_int (as_int v))));
+  def "int_of_float" (prim1 "int_of_float" (fun v -> Vint (int_of_float (as_float v))));
+  def "truncate" (prim1 "truncate" (fun v -> Vint (truncate (as_float v))));
+  def "infinity" (Vfloat infinity);
+  def "neg_infinity" (Vfloat neg_infinity);
+  def "epsilon_float" (Vfloat epsilon_float);
+  def "max_float" (Vfloat max_float);
+  def "min_float" (Vfloat min_float);
+  def "max_int" (Vint max_int);
+  def "min_int" (Vint min_int);
+  (* polymorphic comparison / misc *)
+  def "=" (cmp2 "=" ( = ));
+  def "<>" (cmp2 "<>" ( <> ));
+  def "<" (cmp2 "<" ( < ));
+  def "<=" (cmp2 "<=" ( <= ));
+  def ">" (cmp2 ">" ( > ));
+  def ">=" (cmp2 ">=" ( >= ));
+  def "==" (cmp2 "==" ( = ));
+  def "!=" (cmp2 "!=" ( <> ));
+  def "compare" (prim2 "compare" (fun a b -> Vint (compare_val a b)));
+  def "min" (prim2 "min" (fun a b -> if compare_val a b <= 0 then a else b));
+  def "max" (prim2 "max" (fun a b -> if compare_val a b >= 0 then a else b));
+  def "not" (prim1 "not" (fun v -> Vbool (not (as_bool v))));
+  def "&&" (prim2 "&&" (fun a b -> Vbool (as_bool a && as_bool b)));
+  def "||" (prim2 "||" (fun a b -> Vbool (as_bool a || as_bool b)));
+  def "ignore" (prim1 "ignore" (fun _ -> Vunit));
+  def "fst" (prim1 "fst" (function Vtup [| a; _ |] -> a | v -> err "fst %s" (type_name v)));
+  def "snd" (prim1 "snd" (function Vtup [| _; b |] -> b | v -> err "snd %s" (type_name v)));
+  def "ref" (prim1 "ref" (fun v -> Vref (ref v)));
+  def "!" (prim1 "!" (fun v -> !(as_ref v)));
+  def ":="
+    (prim2 ":=" (fun r v ->
+         as_ref r := v;
+         Vunit));
+  def "incr"
+    (prim1 "incr" (fun r ->
+         let r = as_ref r in
+         r := Vint (as_int !r + 1);
+         Vunit));
+  def "decr"
+    (prim1 "decr" (fun r ->
+         let r = as_ref r in
+         r := Vint (as_int !r - 1);
+         Vunit));
+  def "^" (prim2 "^" (fun a b -> Vstr (as_str a ^ as_str b)));
+  def "@" (prim2 "@" (fun a b -> Vlist (as_list a @ as_list b)));
+  def "string_of_int" (prim1 "string_of_int" (fun v -> Vstr (string_of_int (as_int v))));
+  def "raise" (prim1 "raise" (fun v -> raise (Exc v)));
+  def "raise_notrace" (prim1 "raise_notrace" (fun v -> raise (Exc v)));
+  def "invalid_arg" (prim1 "invalid_arg" (fun v -> invalid_argument (as_str v)));
+  def "failwith" (prim1 "failwith" (fun v -> failure (as_str v)));
+  (* Array *)
+  let array_get =
+    prim2 "Array.get" (fun a i ->
+        let a = as_arr a and i = as_int i in
+        bounds_check "Array.get" a i;
+        a.(i))
+  in
+  let array_set =
+    prim "Array.set" (fun args ->
+        match positional "Array.set" args with
+        | [ a; i; v ] ->
+            let a = as_arr a and i = as_int i in
+            bounds_check "Array.set" a i;
+            a.(i) <- v;
+            Vunit
+        | _ -> err "Array.set arity")
+  in
+  def "Array"
+    (vmod
+       [
+         ("make", prim2 "Array.make" (fun n v -> Varr (Array.make (as_int n) v)));
+         ("create_float", prim1 "Array.create_float" (fun n -> Varr (Array.make (as_int n) (Vfloat 0.))));
+         ( "init",
+           prim2 "Array.init" (fun n f ->
+               Varr (Array.init (as_int n) (fun i -> apply1 f (Vint i)))) );
+         ("length", prim1 "Array.length" (fun a -> Vint (Array.length (as_arr a))));
+         ("get", array_get);
+         ("set", array_set);
+         ("unsafe_get", array_get);
+         ("unsafe_set", array_set);
+         ("copy", prim1 "Array.copy" (fun a -> Varr (Array.copy (as_arr a))));
+         ( "fill",
+           prim "Array.fill" (fun args ->
+               match positional "Array.fill" args with
+               | [ a; pos; len; v ] ->
+                   Array.fill (as_arr a) (as_int pos) (as_int len) v;
+                   Vunit
+               | _ -> err "Array.fill arity") );
+         ( "blit",
+           prim "Array.blit" (fun args ->
+               match positional "Array.blit" args with
+               | [ src; srcoff; dst; dstoff; len ] ->
+                   Array.blit (as_arr src) (as_int srcoff) (as_arr dst)
+                     (as_int dstoff) (as_int len);
+                   Vunit
+               | _ -> err "Array.blit arity") );
+         ( "sub",
+           prim "Array.sub" (fun args ->
+               match positional "Array.sub" args with
+               | [ a; pos; len ] ->
+                   Varr (Array.sub (as_arr a) (as_int pos) (as_int len))
+               | _ -> err "Array.sub arity") );
+         ( "append",
+           prim2 "Array.append" (fun a b ->
+               Varr (Array.append (as_arr a) (as_arr b))) );
+         ( "concat",
+           prim1 "Array.concat" (fun l ->
+               Varr (Array.concat (List.map as_arr (as_list l)))) );
+         ("to_list", prim1 "Array.to_list" (fun a -> Vlist (Array.to_list (as_arr a))));
+         ("of_list", prim1 "Array.of_list" (fun l -> Varr (Array.of_list (as_list l))));
+         ( "iter",
+           prim2 "Array.iter" (fun f a ->
+               Array.iter (fun v -> ignore (apply1 f v)) (as_arr a);
+               Vunit) );
+         ( "iteri",
+           prim2 "Array.iteri" (fun f a ->
+               Array.iteri (fun i v -> ignore (apply2 f (Vint i) v)) (as_arr a);
+               Vunit) );
+         ( "map",
+           prim2 "Array.map" (fun f a -> Varr (Array.map (apply1 f) (as_arr a)))
+         );
+         ( "mapi",
+           prim2 "Array.mapi" (fun f a ->
+               Varr (Array.mapi (fun i v -> apply2 f (Vint i) v) (as_arr a))) );
+         ( "map2",
+           prim "Array.map2" (fun args ->
+               match positional "Array.map2" args with
+               | [ f; a; b ] ->
+                   Varr (Array.map2 (apply2 f) (as_arr a) (as_arr b))
+               | _ -> err "Array.map2 arity") );
+         ( "fold_left",
+           prim "Array.fold_left" (fun args ->
+               match positional "Array.fold_left" args with
+               | [ f; init; a ] ->
+                   Array.fold_left (fun acc v -> apply2 f acc v) init (as_arr a)
+               | _ -> err "Array.fold_left arity") );
+         ( "exists",
+           prim2 "Array.exists" (fun f a ->
+               Vbool (Array.exists (fun v -> as_bool (apply1 f v)) (as_arr a)))
+         );
+         ( "sort",
+           prim2 "Array.sort" (fun cmp a ->
+               Array.sort (fun x y -> as_int (apply2 cmp x y)) (as_arr a);
+               Vunit) );
+       ]);
+  (* List *)
+  def "List"
+    (vmod
+       [
+         ("length", prim1 "List.length" (fun l -> Vint (List.length (as_list l))));
+         ("rev", prim1 "List.rev" (fun l -> Vlist (List.rev (as_list l))));
+         ( "iter",
+           prim2 "List.iter" (fun f l ->
+               List.iter (fun v -> ignore (apply1 f v)) (as_list l);
+               Vunit) );
+         ( "iteri",
+           prim2 "List.iteri" (fun f l ->
+               List.iteri (fun i v -> ignore (apply2 f (Vint i) v)) (as_list l);
+               Vunit) );
+         ("map", prim2 "List.map" (fun f l -> Vlist (List.map (apply1 f) (as_list l))));
+         ( "filter",
+           prim2 "List.filter" (fun f l ->
+               Vlist (List.filter (fun v -> as_bool (apply1 f v)) (as_list l)))
+         );
+         ( "mem",
+           prim2 "List.mem" (fun x l ->
+               Vbool (List.exists (fun v -> equal_val x v) (as_list l))) );
+         ( "exists",
+           prim2 "List.exists" (fun f l ->
+               Vbool (List.exists (fun v -> as_bool (apply1 f v)) (as_list l)))
+         );
+         ( "find_opt",
+           prim2 "List.find_opt" (fun f l ->
+               match List.find_opt (fun v -> as_bool (apply1 f v)) (as_list l) with
+               | Some v -> Vcon ("Some", Some v)
+               | None -> Vcon ("None", None)) );
+         ( "fold_left",
+           prim "List.fold_left" (fun args ->
+               match positional "List.fold_left" args with
+               | [ f; init; l ] ->
+                   List.fold_left (fun acc v -> apply2 f acc v) init (as_list l)
+               | _ -> err "List.fold_left arity") );
+       ]);
+  (* Hashtbl *)
+  let as_h = function
+    | Vhashtbl h -> h
+    | v -> err "expected hashtbl, got %s" (type_name v)
+  in
+  def "Hashtbl"
+    (vmod
+       [
+         ("create", prim1 "Hashtbl.create" (fun n -> Vhashtbl (Hashtbl.create (Stdlib.max 16 (as_int n)))));
+         ( "add",
+           prim "Hashtbl.add" (fun args ->
+               match positional "Hashtbl.add" args with
+               | [ h; k; v ] ->
+                   Hashtbl.add (as_h h) k v;
+                   Vunit
+               | _ -> err "Hashtbl.add arity") );
+         ( "replace",
+           prim "Hashtbl.replace" (fun args ->
+               match positional "Hashtbl.replace" args with
+               | [ h; k; v ] ->
+                   Hashtbl.replace (as_h h) k v;
+                   Vunit
+               | _ -> err "Hashtbl.replace arity") );
+         ( "find",
+           prim2 "Hashtbl.find" (fun h k ->
+               match Hashtbl.find_opt (as_h h) k with
+               | Some v -> v
+               | None -> not_found ()) );
+         ( "find_opt",
+           prim2 "Hashtbl.find_opt" (fun h k ->
+               match Hashtbl.find_opt (as_h h) k with
+               | Some v -> Vcon ("Some", Some v)
+               | None -> Vcon ("None", None)) );
+         ("mem", prim2 "Hashtbl.mem" (fun h k -> Vbool (Hashtbl.mem (as_h h) k)));
+         ( "remove",
+           prim2 "Hashtbl.remove" (fun h k ->
+               Hashtbl.remove (as_h h) k;
+               Vunit) );
+         ("length", prim1 "Hashtbl.length" (fun h -> Vint (Hashtbl.length (as_h h))));
+         ( "iter",
+           prim2 "Hashtbl.iter" (fun f h ->
+               Hashtbl.iter (fun k v -> ignore (apply2 f k v)) (as_h h);
+               Vunit) );
+         ( "fold",
+           prim "Hashtbl.fold" (fun args ->
+               match positional "Hashtbl.fold" args with
+               | [ f; h; init ] ->
+                   Hashtbl.fold
+                     (fun k v acc -> apply f [ (Nolabel, k); (Nolabel, v); (Nolabel, acc) ])
+                     (as_h h) init
+               | _ -> err "Hashtbl.fold arity") );
+       ]);
+  (* Float / Lazy / String *)
+  def "Float"
+    (vmod
+       [
+         ("pi", Vfloat Float.pi);
+         ("of_int", prim1 "Float.of_int" (fun v -> Vfloat (float_of_int (as_int v))));
+         ("to_int", prim1 "Float.to_int" (fun v -> Vint (int_of_float (as_float v))));
+         ("abs", float1 "Float.abs" Float.abs);
+         ("max", float2 "Float.max" Float.max);
+         ("min", float2 "Float.min" Float.min);
+         ("equal", prim2 "Float.equal" (fun a b -> Vbool (Float.equal (as_float a) (as_float b))));
+         ("compare", prim2 "Float.compare" (fun a b -> Vint (Float.compare (as_float a) (as_float b))));
+       ]);
+  (* [lazy e] is evaluated eagerly by the compiler (the kernels only use
+     it for pure shape values), so forcing is the identity. *)
+  def "Lazy" (vmod [ ("force", prim1 "Lazy.force" (fun v -> v)) ]);
+  def "String"
+    (vmod
+       [
+         ("length", prim1 "String.length" (fun s -> Vint (String.length (as_str s))));
+         ("equal", prim2 "String.equal" (fun a b -> Vbool (String.equal (as_str a) (as_str b))));
+         ("concat", prim2 "String.concat" (fun sep l ->
+              Vstr (String.concat (as_str sep) (List.map as_str (as_list l)))));
+       ]);
+  (* Repository modules *)
+  def "Scvad_nd" (vmod [ ("Shape", shape_module) ]);
+  def "Scvad_core" (vmod [ ("Variable", variable_module) ]);
+  let scalar = scalar_module pushes in
+  def "Scvad_ad" (vmod [ ("Float_scalar", scalar) ]);
+  (* Stdlib.f aliases resolve to the same primitives *)
+  let stdlib =
+    let t = Hashtbl.create 64 in
+    Hashtbl.iter (fun n c -> Hashtbl.replace t n c) env;
+    Vmod t
+  in
+  def "Stdlib" stdlib;
+  { env; pushes; scalar }

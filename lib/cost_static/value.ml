@@ -1,0 +1,201 @@
+(* Value domain of the shadow interpreter (DESIGN.md §16).
+
+   The cost pass executes the kernels' own sources under a counting
+   scalar: every value the compiled program would hold has a concrete
+   mirror here.  Plain [float]s stay plain ([Vfloat]); values of the
+   abstract scalar type [S.t] become [Vsc] — the concrete primal plus
+   one activity bit, exactly the information [Reverse.t] carries
+   ({v id >= 0} collapses to [act]).  Because primals are concrete and
+   evaluated in source order with the same double arithmetic the
+   compiled code uses, every branch, loop bound and PRNG-dependent
+   count resolves to the same trace the real tape sees. *)
+
+type t =
+  | Vunit
+  | Vbool of bool
+  | Vint of int
+  | Vfloat of float
+  | Vstr of string
+  | Vchar of char
+  | Vsc of sc  (** abstract-scalar value: primal + activity *)
+  | Varr of t array
+  | Vtup of t array
+  | Vlist of t list
+  | Vcon of string * t option  (** datatype / exception constructor *)
+  | Vrec of (string * t ref) array  (** record; refs give mutable fields *)
+  | Vref of t ref
+  | Vclo of clo
+  | Vprim of string * ((Asttypes.arg_label * t) list -> t)
+  | Vprim1 of string * (t -> t)
+  | Vprim2 of string * (t -> t -> t)
+  | Vmod of modl
+  | Vfunctor of string * (t -> t)
+  | Vhashtbl of (t, t) Hashtbl.t
+      (** keys are ground values, so the stdlib's structural hash and
+          equality agree with [compare_val] *)
+
+and sc = { act : bool; v : float }
+
+and modl = (string, t ref) Hashtbl.t
+(** modules are tables of member cells; members are written once *)
+
+and clo = {
+  c_name : string;  (** binding name, for diagnostics *)
+  c_params : param list;
+  c_nslots : int;  (** frame size *)
+  c_cap : t array;  (** captured values, copied into slots 0.. *)
+  c_body : t array -> t;
+}
+
+and param = {
+  p_lab : Asttypes.arg_label;
+  p_bind : t array -> t -> unit;
+  p_default : (t array -> t) option;
+      (** for [?(x = e)]; evaluated in the callee frame *)
+}
+
+(* Interpreter failure: a genuine gap in the model (unsupported syntax,
+   unknown identifier actually reached at runtime, type confusion).
+   Predictions must never be emitted from a run that raised this. *)
+exception Error of string
+
+(* An exception of the interpreted program (Not_found, Invalid_argument,
+   ...), catchable by interpreted [try ... with]. *)
+exception Exc of t
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Forward reference to [Interp.apply]; prims that call user closures
+   (Array.init, Hashtbl.iter, ...) go through this. *)
+let apply_ref : (t -> (Asttypes.arg_label * t) list -> t) ref =
+  ref (fun _ _ -> err "apply not initialised")
+
+let apply f args = !apply_ref f args
+let apply1 f x = apply f [ (Asttypes.Nolabel, x) ]
+let apply2 f x y = apply f [ (Asttypes.Nolabel, x); (Asttypes.Nolabel, y) ]
+
+let type_name = function
+  | Vunit -> "unit"
+  | Vbool _ -> "bool"
+  | Vint _ -> "int"
+  | Vfloat _ -> "float"
+  | Vstr _ -> "string"
+  | Vchar _ -> "char"
+  | Vsc _ -> "scalar"
+  | Varr _ -> "array"
+  | Vtup _ -> "tuple"
+  | Vlist _ -> "list"
+  | Vcon (c, _) -> "constructor " ^ c
+  | Vrec _ -> "record"
+  | Vref _ -> "ref"
+  | Vclo _ -> "closure"
+  | Vprim _ | Vprim1 _ | Vprim2 _ -> "primitive"
+  | Vmod _ -> "module"
+  | Vfunctor _ -> "functor"
+  | Vhashtbl _ -> "hashtbl"
+
+let as_int = function
+  | Vint n -> n
+  | v -> err "expected int, got %s" (type_name v)
+
+let as_bool = function
+  | Vbool b -> b
+  | v -> err "expected bool, got %s" (type_name v)
+
+(* [S.t] and [float] are the same runtime type in the compiled program
+   when S = Float_scalar, so kernels can (and do) mix them; coerce in
+   both directions, refusing only to silently drop activity. *)
+let as_float = function
+  | Vfloat f -> f
+  | Vsc { act = false; v } -> v
+  | Vsc { act = true; _ } ->
+      err "active scalar used as plain float (would lose a tape node)"
+  | v -> err "expected float, got %s" (type_name v)
+
+let as_sc = function
+  | Vsc s -> s
+  | Vfloat v -> { act = false; v }
+  | v -> err "expected scalar, got %s" (type_name v)
+
+let as_arr = function
+  | Varr a -> a
+  | v -> err "expected array, got %s" (type_name v)
+
+let as_str = function
+  | Vstr s -> s
+  | v -> err "expected string, got %s" (type_name v)
+
+let as_ref = function
+  | Vref r -> r
+  | v -> err "expected ref, got %s" (type_name v)
+
+let as_list = function
+  | Vlist l -> l
+  | v -> err "expected list, got %s" (type_name v)
+
+let as_mod = function
+  | Vmod m -> m
+  | v -> err "expected module, got %s" (type_name v)
+
+let rec_field r name =
+  match Array.find_opt (fun (n, _) -> String.equal n name) r with
+  | Some (_, cell) -> cell
+  | None -> err "record has no field %s" name
+
+(* Structural comparison — the interpreted programs use polymorphic
+   [compare]/[=] only on ground data (ints, floats, strings, tuples,
+   lists of those), e.g. CG's per-row [Array.sort compare].  Scalars
+   compare by primal so data structures keyed on them behave like the
+   compiled program's. *)
+let rec compare_val a b =
+  match (a, b) with
+  | Vunit, Vunit -> 0
+  | Vbool a, Vbool b -> Bool.compare a b
+  | Vint a, Vint b -> Int.compare a b
+  | Vfloat a, Vfloat b -> Float.compare a b
+  | Vsc a, Vsc b -> Float.compare a.v b.v
+  | Vfloat a, Vsc b -> Float.compare a b.v
+  | Vsc a, Vfloat b -> Float.compare a.v b
+  | Vstr a, Vstr b -> String.compare a b
+  | Vchar a, Vchar b -> Char.compare a b
+  | Vtup a, Vtup b | Varr a, Varr b ->
+      let n = Array.length a and m = Array.length b in
+      if n <> m then Int.compare n m
+      else
+        let rec go i =
+          if i = n then 0
+          else
+            let c = compare_val a.(i) b.(i) in
+            if c <> 0 then c else go (i + 1)
+        in
+        go 0
+  | Vlist a, Vlist b -> List.compare compare_val a b
+  | Vcon (ca, pa), Vcon (cb, pb) ->
+      let c = String.compare ca cb in
+      if c <> 0 then c else Option.compare compare_val pa pb
+  | _ -> err "compare %s with %s" (type_name a) (type_name b)
+
+let equal_val a b = compare_val a b = 0
+
+(* Hashing consistent with [equal_val], for value-keyed hashtables
+   (CG's sparse assembly keys on (row, col) int pairs). *)
+let rec hash_val = function
+  | Vunit -> 17
+  | Vbool b -> Hashtbl.hash b
+  | Vint n -> Hashtbl.hash n
+  | Vfloat f -> Hashtbl.hash f
+  | Vsc { v; _ } -> Hashtbl.hash v
+  | Vstr s -> Hashtbl.hash s
+  | Vchar c -> Hashtbl.hash c
+  | Vtup a | Varr a ->
+      Array.fold_left (fun h v -> (h * 31) + hash_val v) 19 a
+  | Vlist l -> List.fold_left (fun h v -> (h * 31) + hash_val v) 23 l
+  | Vcon (c, p) -> (
+      let h = Hashtbl.hash c in
+      match p with None -> h | Some v -> (h * 31) + hash_val v)
+  | v -> err "hash %s" (type_name v)
+
+let exc name payload = Exc (Vcon (name, payload))
+let not_found () = raise (exc "Not_found" None)
+let invalid_argument s = raise (exc "Invalid_argument" (Some (Vstr s)))
+let failure s = raise (exc "Failure" (Some (Vstr s)))

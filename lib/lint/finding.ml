@@ -4,6 +4,7 @@ type rule =
   | Float_equality
   | Swallowed_exception
   | Deprecated_entrypoint
+  | Bigarray_generic_access
   | Pragma
   | Syntax
 
@@ -23,6 +24,7 @@ let rule_name = function
   | Float_equality -> "float-equality"
   | Swallowed_exception -> "swallowed-exception"
   | Deprecated_entrypoint -> "deprecated-entrypoint"
+  | Bigarray_generic_access -> "bigarray-generic-access"
   | Pragma -> "pragma"
   | Syntax -> "syntax"
 
@@ -32,6 +34,7 @@ let rule_of_name = function
   | "float-equality" -> Some Float_equality
   | "swallowed-exception" -> Some Swallowed_exception
   | "deprecated-entrypoint" -> Some Deprecated_entrypoint
+  | "bigarray-generic-access" -> Some Bigarray_generic_access
   | "pragma" -> Some Pragma
   | "syntax" -> Some Syntax
   | _ -> None

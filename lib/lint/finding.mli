@@ -5,7 +5,7 @@
     order, so reports are deterministic: the driver sorts by
     (file, line, rule, message) before printing. *)
 
-(** The five analysis rules (DESIGN.md §10), plus the two
+(** The six analysis rules (DESIGN.md §10), plus the two
     meta-diagnostics the driver itself can emit. *)
 type rule =
   | Domain_safety  (** top-level mutable state in a [Pool.map]-reachable library *)
@@ -14,6 +14,9 @@ type rule =
   | Swallowed_exception  (** [try … with _ ->] catch-alls *)
   | Deprecated_entrypoint
       (** call to a deprecated [Analyzer.analyze*] wrapper *)
+  | Bigarray_generic_access
+      (** Bigarray parameter indexed in a loop without a concrete
+          (kind, layout) [Array1.t] annotation *)
   | Pragma  (** malformed or unused [(* lint: allow … *)] pragma *)
   | Syntax  (** the file did not parse *)
 

@@ -227,7 +227,7 @@ let parse_rule name =
         (Printf.sprintf
            "unknown rule %S in lint pragma (rules: domain-safety, \
             unsafe-access, float-equality, swallowed-exception, \
-            deprecated-entrypoint)"
+            deprecated-entrypoint, bigarray-generic-access)"
            name)
 
 let scan ~file source =

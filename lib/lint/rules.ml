@@ -220,6 +220,152 @@ let deprecated_entrypoints =
     ("analyze_boundaries", "run_boundaries");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Rule 5: bigarray-generic-access — kind-polymorphic hot loops        *)
+(* ------------------------------------------------------------------ *)
+
+(* Bigarray access through a parameter whose (kind, layout) the
+   compiler cannot see monomorphically compiles to the generic boxing
+   path — measured ~6x slower on the tape's push loop when the slab
+   helpers briefly lost their annotations.  The fix is a concrete
+   constraint such as
+   [(float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t].
+
+   Syntactic approximation: a function parameter indexed via
+   [Array1.get]/[set]/[unsafe_get]/[unsafe_set] (the [.{...}] sugar
+   desugars to exactly these) inside a [for]/[while] loop must not be
+   bare, and must not carry an [Array1.t] annotation with type
+   variables or holes in it.  A parameter annotated with some other
+   named type (an alias like tape.ml's [f64]) is trusted — the alias
+   definition is where the kind is pinned down. *)
+
+let array1_index_names = [ "get"; "set"; "unsafe_get"; "unsafe_set" ]
+
+let rec has_tyvar ty =
+  match ty.ptyp_desc with
+  | Ptyp_var _ | Ptyp_any -> true
+  | Ptyp_constr (_, args) -> List.exists has_tyvar args
+  | Ptyp_tuple tys -> List.exists has_tyvar tys
+  | Ptyp_alias (inner, _) -> has_tyvar inner
+  | _ -> false
+
+(* A parameter pattern's binding name and outermost type constraint. *)
+let rec param_of p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some (txt, None)
+  | Ppat_constraint (inner, ty) -> (
+      match param_of inner with
+      | Some (name, None) -> Some (name, Some ty)
+      | other -> other)
+  | Ppat_alias (inner, { txt; _ }) -> (
+      match param_of inner with
+      | Some (_, annot) -> Some (txt, annot)
+      | None -> Some (txt, None))
+  | _ -> None
+
+type bigarray_annot = No_annotation | Polymorphic_array1 | Trusted
+
+let classify_annot = function
+  | None -> No_annotation
+  | Some ty -> (
+      match ty.ptyp_desc with
+      | Ptyp_constr ({ txt; _ }, args) -> (
+          match List.rev (flatten txt) with
+          | "t" :: "Array1" :: _ ->
+              if args = [] || List.exists has_tyvar args then
+                Polymorphic_array1
+              else Trusted
+          | _ -> Trusted)
+      | _ -> Trusted)
+
+(* Names indexed via Array1 inside a for/while loop of [body], with the
+   line of the first such access.  Does not descend into nested [fun]s:
+   an inner function's parameters are that function's own concern (and
+   may shadow an outer name). *)
+let loop_indexed body =
+  let hits = Hashtbl.create 4 in
+  let note name line =
+    if not (Hashtbl.mem hits name) then Hashtbl.replace hits name line
+  in
+  let depth = ref 0 in
+  let expr self e =
+    (if !depth > 0 then
+       match e.pexp_desc with
+       | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+           match last_two (flatten txt) with
+           | "Array1", access when List.mem access array1_index_names -> (
+               match
+                 List.find_opt (fun (lbl, _) -> lbl = Asttypes.Nolabel) args
+               with
+               | Some
+                   (_, { pexp_desc = Pexp_ident { txt = Lident n; _ }; pexp_loc; _ })
+                 ->
+                   note n (line_of pexp_loc)
+               | _ -> ())
+           | _ -> ())
+       | _ -> ());
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> ()
+    | Pexp_for _ | Pexp_while _ ->
+        incr depth;
+        Ast_iterator.default_iterator.expr self e;
+        decr depth
+    | _ -> Ast_iterator.default_iterator.expr self e
+  in
+  let iter = { Ast_iterator.default_iterator with expr } in
+  iter.expr iter body;
+  hits
+
+let scan_functions ~on structure =
+  let rec chain params e =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, pat, body) -> chain (pat :: params) body
+    | Pexp_newtype (_, body) -> chain params body
+    | _ -> (List.rev params, e)
+  in
+  let expr self e =
+    match e.pexp_desc with
+    | Pexp_fun _ ->
+        let params, body = chain [] e in
+        let hits = loop_indexed body in
+        List.iter
+          (fun pat ->
+            match param_of pat with
+            | Some (name, annot) -> (
+                match Hashtbl.find_opt hits name with
+                | Some line -> (
+                    match classify_annot annot with
+                    | No_annotation ->
+                        on line
+                          (Printf.sprintf
+                             "parameter %s is indexed as a Bigarray inside a \
+                              loop but carries no type annotation; the access \
+                              compiles to the generic boxing path (~6x \
+                              slower) \xe2\x80\x94 constrain it, e.g. \
+                              (float, Bigarray.float64_elt, \
+                              Bigarray.c_layout) Bigarray.Array1.t"
+                             name)
+                    | Polymorphic_array1 ->
+                        on line
+                          (Printf.sprintf
+                             "parameter %s is indexed inside a loop under a \
+                              kind/layout-polymorphic Array1.t annotation; \
+                              the access compiles to the generic boxing path \
+                              (~6x slower) \xe2\x80\x94 pin the kind and \
+                              layout"
+                             name)
+                    | Trusted -> ())
+                | None -> ())
+            | None -> ())
+          params;
+        self.Ast_iterator.expr self body
+    | _ -> Ast_iterator.default_iterator.expr self e
+  in
+  let iter = { Ast_iterator.default_iterator with expr } in
+  iter.structure iter structure
+
+(* ------------------------------------------------------------------ *)
+
 let scan_expressions ~on_unsafe ~on_float_eq ~on_swallow ~on_deprecated
     structure =
   let check e =
@@ -317,5 +463,8 @@ let check ~domain_scope ~file structure =
     ~on_swallow:(fun line msg -> add Finding.Swallowed_exception line msg)
     ~on_deprecated:(fun line msg ->
       add Finding.Deprecated_entrypoint line msg)
+    structure;
+  scan_functions
+    ~on:(fun line msg -> add Finding.Bigarray_generic_access line msg)
     structure;
   List.rev !findings

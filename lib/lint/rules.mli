@@ -1,4 +1,4 @@
-(** The five analysis rules over a parsed [Parsetree.structure]
+(** The six analysis rules over a parsed [Parsetree.structure]
     (DESIGN.md §10).
 
     - {b domain-safety} (only when [domain_scope] is true for the file):
@@ -29,6 +29,15 @@
       the qualified path, so it also covers code the build graph never
       typechecks.  [Analyzer.analyze_impact] is not deprecated and does
       not fire.
+    - {b bigarray-generic-access}: a function parameter indexed via
+      [Array1.get]/[set]/[unsafe_get]/[unsafe_set] (the [.{...}] sugar
+      desugars to these) inside a [for]/[while] loop while bare of any
+      type annotation, or annotated with an [Array1.t] that leaves the
+      kind/layout polymorphic.  Such access compiles to the generic
+      boxing path (~6x slower in the tape's push loop).  A parameter
+      annotated with any other named type (e.g. a concrete alias such
+      as tape.ml's [f64]) is trusted.  The finding points at the first
+      in-loop access.
 
     All findings are raw (severity [Error]); allowlists and pragmas are
     applied downstream by {!Driver}. *)

@@ -310,7 +310,11 @@ module Tiny_app : Scvad_core.App.S = struct
   let description = "Conjugate Gradient, reduced size for ablations"
   let default_niter = Tiny_config.niter
   let analysis_niter = 1
-  let tape_nodes_hint = 32_768
+
+  (* The static cost model predicts exactly 21,648 nodes (and the
+     dynamic tape confirms it); a round 22k replaces the old 32,768
+     guess, which over-allocated by half. *)
+  let tape_nodes_hint = 22_000
   let int_taint_masks = None
 
   module Make (S : Scvad_ad.Scalar.S) = Make_generic (Tiny_config) (S)

@@ -1,0 +1,27 @@
+(* Known-bad bigarray-generic-access fixture. *)
+
+let sum_bare a n =
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. Bigarray.Array1.get a i
+  done;
+  !s
+
+let scale_poly (a : ('a, 'b, 'c) Bigarray.Array1.t) k n =
+  for i = 0 to n - 1 do
+    Bigarray.Array1.set a i k
+  done
+
+let fill_sugar buf v n =
+  let i = ref 0 in
+  while !i < n do
+    buf.{!i} <- v;
+    incr i
+  done
+
+let peek_hole (w : (float, _, _) Bigarray.Array1.t) n =
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. Bigarray.Array1.unsafe_get w i (* lint: allow unsafe-access — fixture exercises the bigarray rule, not bounds checking *)
+  done;
+  !s

@@ -1,0 +1,33 @@
+(* Known-good bigarray-generic-access fixture: concrete annotations,
+   concrete aliases, and out-of-loop access. *)
+
+type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let sum_concrete
+    (a : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t) n
+    =
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. Bigarray.Array1.get a i
+  done;
+  !s
+
+let sum_alias (a : f64) n =
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. a.{i}
+  done;
+  !s
+
+(* A single out-of-loop access is not a hot path. *)
+let first a = Bigarray.Array1.get a 0
+
+(* A local binding is not a parameter: its type is visible at the
+   allocation site. *)
+let local_sum n =
+  let a = Bigarray.(Array1.create float64 c_layout n) in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. a.{i}
+  done;
+  !s

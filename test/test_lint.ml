@@ -78,6 +78,12 @@ let test_deprecated_bad () =
 
 let test_deprecated_good () = check_clean "no findings" (p "deprecated_good.ml")
 
+let test_bigarray_bad () =
+  check_lines "bigarray-generic-access findings" Finding.Bigarray_generic_access
+    (p "bigarray_bad.ml") [ 6; 12; 18; 25 ]
+
+let test_bigarray_good () = check_clean "no findings" (p "bigarray_good.ml")
+
 (* ------------------------------------------------------------------ *)
 (* Pragmas                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -187,7 +193,11 @@ let suites =
         Alcotest.test_case "deprecated-entrypoint: known bad" `Quick
           test_deprecated_bad;
         Alcotest.test_case "deprecated-entrypoint: known good" `Quick
-          test_deprecated_good ] );
+          test_deprecated_good;
+        Alcotest.test_case "bigarray-generic-access: known bad" `Quick
+          test_bigarray_bad;
+        Alcotest.test_case "bigarray-generic-access: known good" `Quick
+          test_bigarray_good ] );
     ( "lint.driver",
       [ Alcotest.test_case "pragmas suppress with justification" `Quick
           test_pragma_suppresses;
