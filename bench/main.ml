@@ -671,6 +671,68 @@ let bench_static_prefilter () =
       say "%!"
 
 (* ------------------------------------------------------------------ *)
+(* Race certification: wall time of the static pass over lib/, and the
+   write-set sanitizer's overhead on a pool fan-out — the two costs a
+   user pays for the DESIGN.md §17 certificate. *)
+let bench_race () =
+  say "-- Race certification (scvad_racefree + write-set sanitizer)\n";
+  match Scvad_racefree.Driver.locate_lib_dir () with
+  | None -> say "  (lib/ sources not found; group skipped)\n"
+  | Some lib ->
+      let module Rdriver = Scvad_racefree.Driver in
+      let module Sanitize = Scvad_sanitize.Sanitize in
+      let t0 = Unix.gettimeofday () in
+      let report = Rdriver.certify ~root:lib in
+      let t_pass = Unix.gettimeofday () -. t0 in
+      let free = Rdriver.count report "race-free" in
+      record ~group:"race" ~name:"certify/lib" ~metric:"s" t_pass;
+      record ~group:"race" ~name:"certify/race_free_sites" ~metric:"sites"
+        (float_of_int free);
+      say "  %-40s %10.2f ms  (%d/%d sites race-free)\n"
+        "static certification (all lib sources)" (t_pass *. 1e3) free
+        (List.length report.Rdriver.r_sites);
+      (* Sanitizer overhead: the identical fan-out, plain vs armed and
+         sanitized.  Shards record disjoint lanes, so a witness here
+         would itself be a bug.  jobs=1 batches degrade to sequential
+         unsanitized maps, so measure with at least two workers. *)
+      let sjobs = max 2 !jobs in
+      Scvad_par.Pool.with_pool ~jobs:sjobs (fun pool ->
+          let shards = 64 and per = 4096 in
+          let xs = List.init shards (fun i -> i * per) in
+          let obj = Sanitize.fresh_id () in
+          let work lo =
+            let acc = ref 0.0 in
+            for k = lo to lo + per - 1 do
+              acc := !acc +. float_of_int k
+            done;
+            Sanitize.record ~obj ~lo ~hi:(lo + per) ~tag:"bench";
+            !acc
+          in
+          let wall sanitize =
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to 20 do
+              ignore (Scvad_par.Pool.map ~sanitize pool work xs)
+            done;
+            Unix.gettimeofday () -. t0
+          in
+          ignore (wall false) (* warm the pool *);
+          let t_plain = wall false in
+          Sanitize.arm ();
+          let t_san = wall true in
+          let stats = Sanitize.disarm () in
+          record ~jobs:sjobs ~group:"race" ~name:"pool_map/plain" ~metric:"s"
+            t_plain;
+          record ~jobs:sjobs ~group:"race" ~name:"pool_map/sanitized"
+            ~metric:"s" t_san;
+          say "  %-40s %10.2f ms\n" "pool map x20, plain" (t_plain *. 1e3);
+          say "  %-40s %10.2f ms  (%.2fx, %d spans, %d witnesses)\n"
+            "pool map x20, sanitized" (t_san *. 1e3)
+            (t_san /. Float.max 1e-9 t_plain)
+            stats.Sanitize.spans
+            (List.length stats.Sanitize.witnesses));
+      say "%!"
+
+(* ------------------------------------------------------------------ *)
 (* Checkpoint-set discovery: wall time of the static ranking pass and
    the size of the proposal it emits — the quantities a user weighing
    "trust the declarations" against "discover the set" cares about. *)
@@ -1037,6 +1099,7 @@ let () =
   bench_discover ();
   bench_cost ();
   bench_guard ();
+  bench_race ();
   bench_segmented_tape ();
   bench_sparse_backward ();
   say "TIMINGS (Bechamel, ns per run via OLS)\n";

@@ -290,7 +290,7 @@ type spec = {
   sp_visited : int;
 }
 
-let speculate ~get_slab ~sn ~(adj : f64) ~hi ~lo k =
+let speculate ~get_slab ~sn ~(adj : f64) ~adj_id ~hi ~lo k =
   let sl = get_slab k in
   let base = sl.base in
   let lo_j = Stdlib.max 0 (lo - base) in
@@ -298,6 +298,13 @@ let speculate ~get_slab ~sn ~(adj : f64) ~hi ~lo k =
   let len = hi_j + 1 in
   let scratch = alloc_f64 len in
   Bigarray.Array1.blit (Bigarray.Array1.sub adj base len) scratch;
+  (* The write-set sanitizer sees each speculation as one span of the
+     adjoint space, [base, base + len): the scratch mirrors exactly that
+     slice, and cross-slab contributions are queued, not written.  Two
+     concurrent speculations overlapping here would mean slab ranges
+     overlap — the invariant the scratch-then-commit protocol rests on. *)
+  Scvad_sanitize.Sanitize.record ~obj:adj_id ~lo:base ~hi:(base + len)
+    ~tag:"tape.speculate";
   let emits = ref [] and touched = ref [] and visited = ref 0 in
   for j = hi_j downto lo_j do
     let a = Bigarray.Array1.unsafe_get scratch j in
@@ -399,6 +406,9 @@ let sweep_range ?fan ~get_slab ~sn ~(adj : f64) ~bits ~hi ~lo () =
     | None -> frontier_scan ~get_slab ~sn ~adj ~bits ~hi ~lo
     | Some f ->
         let visited = ref 0 in
+        (* One sanitizer identity per sweep stands for the adjoint
+           space: every speculation of every wave records against it. *)
+        let adj_id = Scvad_sanitize.Sanitize.fresh_id () in
         let k_lo = lo / sn in
         let slab_live k =
           range_live bits
@@ -422,7 +432,7 @@ let sweep_range ?fan ~get_slab ~sn ~(adj : f64) ~bits ~hi ~lo () =
             done;
             let specs =
               f.Tape_intf.fan_run
-                (fun k -> speculate ~get_slab ~sn ~adj ~hi ~lo k)
+                (fun k -> speculate ~get_slab ~sn ~adj ~adj_id ~hi ~lo k)
                 !live
             in
             let by_k = Hashtbl.create 16 in

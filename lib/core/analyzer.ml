@@ -20,7 +20,7 @@
    Parallelism: every analysis accepts an optional {!Scvad_par.Pool} and
    fans its independent parts across it — per-variable mask/region
    extraction (reverse, activity), per-element dual probes (forward),
-   and {!analyze_suite} runs whole per-benchmark analyses side by side.
+   and {!run_suite} runs whole per-benchmark analyses side by side.
    Each analysis owns its tape and each forward probe its state, so
    nothing is shared and results are bitwise identical at any [jobs]. *)
 
@@ -638,35 +638,6 @@ let run_boundaries ?(config = Config.default) ~boundaries (module A : App.S) =
                     (if s = 0 then 0. else float_of_int v /. float_of_int s);
                 });
       }
-
-(* ------------------------------------------------------------------ *)
-(* Deprecated optional-argument spellings (one release of grace)       *)
-(* ------------------------------------------------------------------ *)
-
-let config_of_options ?mode ?at_iter ?niter ?jobs ?static ?guard () =
-  {
-    Config.default with
-    Config.mode = Option.value mode ~default:Config.default.Config.mode;
-    at_iter = Option.value at_iter ~default:0;
-    niter;
-    jobs;
-    static;
-    guard;
-  }
-
-let analyze ?mode ?at_iter ?niter ?jobs ?static ?guard app =
-  run ~config:(config_of_options ?mode ?at_iter ?niter ?jobs ?static ?guard ())
-    app
-
-let analyze_suite ?mode ?at_iter ?niter ?jobs ?static ?guard apps =
-  run_suite
-    ~config:(config_of_options ?mode ?at_iter ?niter ?jobs ?static ?guard ())
-    apps
-
-let analyze_boundaries ?mode ~boundaries ?niter ?jobs ?static app =
-  run_boundaries
-    ~config:(config_of_options ?mode ?niter ?jobs ?static ())
-    ~boundaries app
 
 (* Impact magnitudes (reverse mode only): the input of the
    mixed-precision checkpoint planner. *)

@@ -14,7 +14,7 @@
     Every analysis can fan its independent parts out over a
     {!Scvad_par.Pool}: per-variable mask/region extraction (reverse and
     activity modes), per-element dual-number probes (forward mode), and
-    whole per-benchmark analyses ({!analyze_suite}).  Nothing is shared
+    whole per-benchmark analyses ({!run_suite}).  Nothing is shared
     between the fanned-out parts — each analysis owns its tape, each
     probe its state — so results are bitwise identical for any job
     count. *)
@@ -228,44 +228,6 @@ val run_boundaries :
   boundaries:int list ->
   (module App.S) ->
   Criticality.report
-
-(** {1 Deprecated entry points}
-
-    The optional-argument spellings that {!Config} replaces; thin
-    wrappers kept for one release. *)
-
-val analyze :
-  ?mode:Criticality.mode ->
-  ?at_iter:int ->
-  ?niter:int ->
-  ?jobs:int ->
-  ?static:Scvad_activity.Verdict.verdicts ->
-  ?guard:guard_spec ->
-  (module App.S) ->
-  Criticality.report
-[@@ocaml.deprecated "use Analyzer.run with an Analyzer.Config instead"]
-
-val analyze_suite :
-  ?mode:Criticality.mode ->
-  ?at_iter:int ->
-  ?niter:int ->
-  ?jobs:int ->
-  ?static:Scvad_activity.Verdict.verdicts ->
-  ?guard:guard_spec ->
-  (module App.S) list ->
-  Criticality.report list
-[@@ocaml.deprecated "use Analyzer.run_suite with an Analyzer.Config instead"]
-
-val analyze_boundaries :
-  ?mode:Criticality.mode ->
-  boundaries:int list ->
-  ?niter:int ->
-  ?jobs:int ->
-  ?static:Scvad_activity.Verdict.verdicts ->
-  (module App.S) ->
-  Criticality.report
-[@@ocaml.deprecated
-  "use Analyzer.run_boundaries with an Analyzer.Config instead"]
 
 (** Impact magnitudes |d output / d element| from the same reverse
     pass — the input of the mixed-precision checkpoint planner

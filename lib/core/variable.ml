@@ -21,6 +21,25 @@ type 'a t = {
 let elements v = Scvad_nd.Shape.size v.shape
 let scalars v = elements v * v.spe
 
+(* Every constructed view carries a sanitizer identity and reports its
+   stores, scalar-granular: slot [e * spe + k].  The record is a
+   domain-local read and a return outside sanitized pool shards, so
+   restores and lifts stay cheap in normal runs (DESIGN.md §17). *)
+let observed_set ~spe set =
+  let id = Scvad_sanitize.Sanitize.fresh_id () in
+  fun e k x ->
+    set e k x;
+    let off = (e * spe) + k in
+    Scvad_sanitize.Sanitize.record ~obj:id ~lo:off ~hi:(off + 1)
+      ~tag:"variable.set"
+
+let observed_int_set set =
+  let id = Scvad_sanitize.Sanitize.fresh_id () in
+  fun e x ->
+    set e x;
+    Scvad_sanitize.Sanitize.record ~obj:id ~lo:e ~hi:(e + 1)
+      ~tag:"variable.int_set"
+
 (* Paper-style storage cost of the full variable: 8 bytes per scalar. *)
 let payload_bytes v = 8 * scalars v
 
@@ -33,7 +52,7 @@ let of_array ~name ?(doc = "") shape (data : 'a array) =
     shape;
     spe = 1;
     get = (fun e _ -> data.(e));
-    set = (fun e _ x -> data.(e) <- x);
+    set = observed_set ~spe:1 (fun e _ x -> data.(e) <- x);
     doc;
   }
 
@@ -44,14 +63,14 @@ let of_ref ~name ?(doc = "") (r : 'a ref) =
     shape = Scvad_nd.Shape.scalar;
     spe = 1;
     get = (fun _ _ -> !r);
-    set = (fun _ _ x -> r := x);
+    set = observed_set ~spe:1 (fun _ _ x -> r := x);
     doc;
   }
 
 (* General accessor view (used for dcomplex arrays). *)
 let make ~name ?(doc = "") ~shape ~spe ~get ~set () =
   if spe <= 0 then invalid_arg "Variable.make: spe must be positive";
-  { name; shape; spe; get; set; doc }
+  { name; shape; spe; get; set = observed_set ~spe set; doc }
 
 (* Lift every scalar in place and return the lifted values (element-major,
    [spe] slots per element).  The returned snapshot is essential: the run
@@ -142,7 +161,7 @@ let int_of_ref ~name ?(doc = "") ~crit (r : int ref) =
     iname = name;
     ishape = Scvad_nd.Shape.scalar;
     iget = (fun _ -> !r);
-    iset = (fun _ x -> r := x);
+    iset = observed_int_set (fun _ x -> r := x);
     icrit = crit;
     idoc = doc;
   }
@@ -154,7 +173,7 @@ let int_of_array ~name ?(doc = "") ~crit shape (data : int array) =
     iname = name;
     ishape = shape;
     iget = (fun e -> data.(e));
-    iset = (fun e x -> data.(e) <- x);
+    iset = observed_int_set (fun e x -> data.(e) <- x);
     icrit = crit;
     idoc = doc;
   }

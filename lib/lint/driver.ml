@@ -4,6 +4,7 @@ module Ljson = Scvad_util.Ljson
 
 type config = {
   domain_dirs : string list;
+  pool_dirs : string list;
   unsafe_allow : (string * string) list;
   float_allow : (string * string) list;
 }
@@ -15,6 +16,7 @@ let default_config =
         "lib/npb"; "lib/solvers"; "lib/nprand"; "lib/ad"; "lib/ndarray";
         "lib/core";
       ];
+    pool_dirs = [ "lib/par" ];
     unsafe_allow =
       [
         ( "lib/ad/tape.ml",
@@ -118,7 +120,10 @@ let lint_file config counts file =
   | Error f -> (pragma_errors @ [ f ], 0)
   | Ok ast ->
       let raw =
-        Rules.check ~domain_scope:(in_dirs config.domain_dirs file) ~file ast
+        Rules.check
+          ~domain_scope:(in_dirs config.domain_dirs file)
+          ~pool_scope:(in_dirs config.pool_dirs file)
+          ~file ast
       in
       let allowlisted (f : Finding.t) =
         let table =

@@ -7,6 +7,10 @@
       [Pool.map] workloads ([lib/npb], [lib/solvers], [lib/nprand],
       [lib/ad], [lib/ndarray], [lib/core]) — the mechanized form of the
       DESIGN.md §9 "no top-level mutable state" claim;
+    - {b domain-spawn-outside-pool} applies everywhere except the pool
+      runtime itself ([lib/par]): raw [Domain.spawn]/[Domain.join]
+      bypasses the pool's ordering, sanitization and race-certification
+      guarantees (DESIGN.md §17);
     - {b unsafe-access} is an error everywhere except the allowlisted
       hot paths, and every allowlist entry carries a justification that
       is printed in the report;
@@ -17,6 +21,9 @@
 type config = {
   domain_dirs : string list;
       (** path prefixes where the domain-safety rule applies *)
+  pool_dirs : string list;
+      (** path prefixes exempt from domain-spawn-outside-pool (the pool
+          runtime that legitimately spawns domains) *)
   unsafe_allow : (string * string) list;  (** file, justification *)
   float_allow : (string * string) list;  (** file, justification *)
 }

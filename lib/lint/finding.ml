@@ -1,5 +1,6 @@
 type rule =
   | Domain_safety
+  | Domain_spawn_outside_pool
   | Unsafe_access
   | Float_equality
   | Swallowed_exception
@@ -20,6 +21,7 @@ type t = {
 
 let rule_name = function
   | Domain_safety -> "domain-safety"
+  | Domain_spawn_outside_pool -> "domain-spawn-outside-pool"
   | Unsafe_access -> "unsafe-access"
   | Float_equality -> "float-equality"
   | Swallowed_exception -> "swallowed-exception"
@@ -30,6 +32,7 @@ let rule_name = function
 
 let rule_of_name = function
   | "domain-safety" -> Some Domain_safety
+  | "domain-spawn-outside-pool" -> Some Domain_spawn_outside_pool
   | "unsafe-access" -> Some Unsafe_access
   | "float-equality" -> Some Float_equality
   | "swallowed-exception" -> Some Swallowed_exception

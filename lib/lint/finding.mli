@@ -5,10 +5,12 @@
     order, so reports are deterministic: the driver sorts by
     (file, line, rule, message) before printing. *)
 
-(** The six analysis rules (DESIGN.md §10), plus the two
+(** The seven analysis rules (DESIGN.md §10), plus the two
     meta-diagnostics the driver itself can emit. *)
 type rule =
   | Domain_safety  (** top-level mutable state in a [Pool.map]-reachable library *)
+  | Domain_spawn_outside_pool
+      (** raw [Domain.spawn]/[Domain.join] outside the pool runtime *)
   | Unsafe_access  (** [unsafe_get]/[unsafe_set] outside the allowlist *)
   | Float_equality  (** structural [=]/[<>]/[compare] on float operands *)
   | Swallowed_exception  (** [try … with _ ->] catch-alls *)

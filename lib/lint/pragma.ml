@@ -226,8 +226,9 @@ let parse_rule name =
       Error
         (Printf.sprintf
            "unknown rule %S in lint pragma (rules: domain-safety, \
-            unsafe-access, float-equality, swallowed-exception, \
-            deprecated-entrypoint, bigarray-generic-access)"
+            domain-spawn-outside-pool, unsafe-access, float-equality, \
+            swallowed-exception, deprecated-entrypoint, \
+            bigarray-generic-access)"
            name)
 
 let scan ~file source =

@@ -140,6 +140,47 @@ and scan_module_expr ~on ~labels me =
   | Pmod_ident _ | Pmod_unpack _ | Pmod_extension _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Rule: domain-spawn-outside-pool — raw Domain use                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Any [Domain.spawn]/[Domain.join] mention outside the pool runtime.
+   Raw domains bypass everything the pool guarantees — input-order
+   first-exception re-raise, nested-map sequential degradation, the
+   armed write-set sanitizer, and the race certifier's site discovery
+   (racecheck only classifies [Pool.map]/[Pool.init] fan-outs, so a
+   bare spawn is parallelism the certificates say nothing about).
+   Purely syntactic on the qualified path; [Domain.self],
+   [Domain.cpu_relax] etc. are benign and do not fire. *)
+let domain_spawn_names = [ "spawn"; "join" ]
+
+let scan_domain_spawn ~on structure =
+  let check e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        match List.rev (flatten txt) with
+        | last :: "Domain" :: _ when List.mem last domain_spawn_names ->
+            on (line_of e.pexp_loc)
+              (Printf.sprintf
+                 "raw Domain.%s outside lib/par: use Scvad_par.Pool, which \
+                  owns exception re-raise order, nested-map degradation, the \
+                  write-set sanitizer, and race certification \
+                  (DESIGN.md \xc2\xa717)"
+                 last)
+        | _ -> ())
+    | _ -> ()
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          check e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.structure iter structure
+
+(* ------------------------------------------------------------------ *)
 (* Rules 2-4: one expression-level pass                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -444,7 +485,7 @@ let scan_expressions ~on_unsafe ~on_float_eq ~on_swallow ~on_deprecated
 
 (* ------------------------------------------------------------------ *)
 
-let check ~domain_scope ~file structure =
+let check ~domain_scope ~pool_scope ~file structure =
   let findings = ref [] in
   let add rule line message =
     findings :=
@@ -457,6 +498,10 @@ let check ~domain_scope ~file structure =
       ~on:(fun line msg -> add Finding.Domain_safety line msg)
       ~labels structure
   end;
+  if not pool_scope then
+    scan_domain_spawn
+      ~on:(fun line msg -> add Finding.Domain_spawn_outside_pool line msg)
+      structure;
   scan_expressions
     ~on_unsafe:(fun line msg -> add Finding.Unsafe_access line msg)
     ~on_float_eq:(fun line msg -> add Finding.Float_equality line msg)

@@ -1,4 +1,4 @@
-(** The six analysis rules over a parsed [Parsetree.structure]
+(** The seven analysis rules over a parsed [Parsetree.structure]
     (DESIGN.md §10).
 
     - {b domain-safety} (only when [domain_scope] is true for the file):
@@ -9,6 +9,13 @@
       body, including inside submodules and functor bodies (a functor
       application at module level would freeze such state into shared
       top-level values).
+    - {b domain-spawn-outside-pool} (skipped when [pool_scope] is true,
+      i.e. for the pool runtime itself): any [Domain.spawn] or
+      [Domain.join] mention.  Raw domains bypass the pool's exception
+      re-raise order, nested-map degradation, the write-set sanitizer,
+      and the race certifier's fan-out site discovery (racecheck only
+      classifies [Pool.map]/[Pool.init] sites).  [Domain.self] and the
+      other non-spawning operations do not fire.
     - {b unsafe-access}: any [unsafe_get]/[unsafe_set] (and the sibling
       [unsafe_fill]/[unsafe_blit]) mention.
     - {b float-equality}: structural [=], [<>] or polymorphic [compare]
@@ -43,4 +50,8 @@
     applied downstream by {!Driver}. *)
 
 val check :
-  domain_scope:bool -> file:string -> Parsetree.structure -> Finding.t list
+  domain_scope:bool ->
+  pool_scope:bool ->
+  file:string ->
+  Parsetree.structure ->
+  Finding.t list

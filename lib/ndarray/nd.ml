@@ -1,31 +1,53 @@
 (* Dense n-dimensional array: a shape plus a flat OCaml array.  Kernels
    keep hot loops on the flat [data] with hand-written index math; this
    wrapper provides the safe general-purpose view used by the analyzer,
-   the checkpoint library and the visualizer. *)
+   the checkpoint library and the visualizer.
 
-type 'a t = { shape : Shape.t; data : 'a array }
+   Each array carries a process-unique [id] so the write-set sanitizer
+   can attribute stores to objects; [set]/[set_flat]/[fill] report their
+   spans.  [Sanitize.record] is a domain-local read and a return unless
+   the store happens inside a sanitized pool shard, so the safe view
+   stays cheap — and the raw [data] escape hatch the kernels use is
+   exactly the boundary the sanitizer does not see (DESIGN.md §17). *)
 
-let create shape x = { shape; data = Array.make (Shape.size shape) x }
+module Sanitize = Scvad_sanitize.Sanitize
+
+type 'a t = { id : int; shape : Shape.t; data : 'a array }
+
+let wrap shape data = { id = Sanitize.fresh_id (); shape; data }
+let create shape x = wrap shape (Array.make (Shape.size shape) x)
 
 let init shape f =
   let idx_of = Shape.index_of_offset shape in
-  { shape; data = Array.init (Shape.size shape) (fun off -> f (idx_of off)) }
+  wrap shape (Array.init (Shape.size shape) (fun off -> f (idx_of off)))
 
 let of_array shape data =
   if Array.length data <> Shape.size shape then
     invalid_arg "Nd.of_array: data length does not match shape";
-  { shape; data }
+  wrap shape data
 
 let shape t = t.shape
 let data t = t.data
 let size t = Shape.size t.shape
 let get t idx = t.data.(Shape.offset t.shape idx)
-let set t idx x = t.data.(Shape.offset t.shape idx) <- x
+
+let set t idx x =
+  let off = Shape.offset t.shape idx in
+  t.data.(off) <- x;
+  Sanitize.record ~obj:t.id ~lo:off ~hi:(off + 1) ~tag:"nd.set"
+
 let get_flat t off = t.data.(off)
-let set_flat t off x = t.data.(off) <- x
-let fill t x = Array.fill t.data 0 (Array.length t.data) x
-let map f t = { shape = t.shape; data = Array.map f t.data }
-let copy t = { shape = t.shape; data = Array.copy t.data }
+
+let set_flat t off x =
+  t.data.(off) <- x;
+  Sanitize.record ~obj:t.id ~lo:off ~hi:(off + 1) ~tag:"nd.set_flat"
+
+let fill t x =
+  Array.fill t.data 0 (Array.length t.data) x;
+  Sanitize.record ~obj:t.id ~lo:0 ~hi:(Array.length t.data) ~tag:"nd.fill"
+
+let map f t = wrap t.shape (Array.map f t.data)
+let copy t = wrap t.shape (Array.copy t.data)
 
 let iteri f t =
   let idx_of = Shape.index_of_offset t.shape in

@@ -10,6 +10,8 @@
    worker (detected with a domain-local flag) — the fixed-size pool can
    therefore never deadlock on its own tasks. *)
 
+module Sanitize = Scvad_sanitize.Sanitize
+
 type t = {
   mu : Mutex.t;
   work : Condition.t; (* signaled when the queue gains tasks or on close *)
@@ -130,12 +132,24 @@ let settle pool batch i outcome =
   if batch.pending = 0 then Condition.broadcast batch.done_;
   Mutex.unlock pool.mu
 
-let run_map pool f (xs : 'a array) =
+let run_map ?(sanitize = false) ?(label = "pool.map") pool f (xs : 'a array) =
   let n = Array.length xs in
   let batch = { results = Array.make n None; pending = n; done_ = Condition.create () } in
+  (* Sanitized batches record per-shard write sets and check cross-shard
+     disjointness at join (DESIGN.md §17): explicitly via [~sanitize], or
+     for every batch while a [Sanitize] session is armed. *)
+  let sbatch =
+    if sanitize || Sanitize.armed () then
+      Some (Sanitize.batch_start ~label n)
+    else None
+  in
   let task i () =
     let outcome =
-      try Ok (f xs.(i))
+      try
+        Ok
+          (match sbatch with
+          | None -> f xs.(i)
+          | Some b -> Sanitize.in_shard b i (fun () -> f xs.(i)))
       with e -> Error (e, Printexc.get_raw_backtrace ())
     in
     settle pool batch i outcome
@@ -160,6 +174,9 @@ let run_map pool f (xs : 'a array) =
     else Condition.wait batch.done_ pool.mu
   done;
   Mutex.unlock pool.mu;
+  (* Every task has settled: fold the write sets before any re-raise so
+     a failing batch still reports its witnesses. *)
+  Option.iter Sanitize.batch_join sbatch;
   (* First failure in input order wins; later slots stay settled. *)
   Array.map
     (function
@@ -168,17 +185,19 @@ let run_map pool f (xs : 'a array) =
       | None -> assert false)
     batch.results
 
-let map pool f xs =
+let map ?sanitize pool f xs =
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
   | _ ->
       if pool.jobs = 1 || Domain.DLS.get in_worker then List.map f xs
-      else Array.to_list (run_map pool f (Array.of_list xs))
+      else
+        Array.to_list
+          (run_map ?sanitize ~label:"pool.map" pool f (Array.of_list xs))
 
-let init pool n f =
+let init ?sanitize pool n f =
   if n < 0 then invalid_arg "Pool.init: negative length";
   if n = 0 then [||]
   else if n = 1 || pool.jobs = 1 || Domain.DLS.get in_worker then
     Array.init n f
-  else run_map pool f (Array.init n Fun.id)
+  else run_map ?sanitize ~label:"pool.init" pool f (Array.init n Fun.id)

@@ -40,11 +40,20 @@ val default_jobs : unit -> int
 
     If any application raised, the first exception in input-index order
     is re-raised (with its original backtrace) after every task has
-    settled — no task of the batch is abandoned mid-flight. *)
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+    settled — no task of the batch is abandoned mid-flight.
+
+    [~sanitize:true] records the write set of every shard through the
+    instrumented mutation points and checks cross-shard disjointness
+    when the batch joins, folding any witness into the ambient
+    {!Scvad_sanitize.Sanitize} session; while a session is armed
+    ({!Scvad_sanitize.Sanitize.arm}) every batch is sanitized, with or
+    without the flag.  Sequential fallbacks (empty/singleton input,
+    [jobs = 1], nested in-worker maps) run unsanitized: one shard cannot
+    race with itself. *)
+val map : ?sanitize:bool -> t -> ('a -> 'b) -> 'a list -> 'b list
 
 (** Like {!map} over [0 .. n-1]; returns an array. *)
-val init : t -> int -> (int -> 'a) -> 'a array
+val init : ?sanitize:bool -> t -> int -> (int -> 'a) -> 'a array
 
 (** Shut the workers down and join them.  Idempotent.  Calling {!map}
     afterwards raises [Invalid_argument]. *)

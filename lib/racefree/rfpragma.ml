@@ -1,0 +1,42 @@
+(* [(* racefree: assume disjoint <context> — <reason> *)] pragmas on
+   the shared assume-pragma functor: the escape hatch for fan-out sites
+   the static pass cannot classify.  The tag names the site's enclosing
+   top-level binding (its pragma subject — stable across line drift),
+   so one pragma covers exactly one fan-out context in its file.  The
+   usual family semantics apply: a justification is mandatory, a stale
+   pragma is a warning, and the @race-check gate re-reports every
+   assumption so they cannot silently accumulate. *)
+
+module Pragma = Scvad_lint.Pragma
+
+module Grammar = struct
+  type tag = string (* enclosing-binding name the assumption covers *)
+
+  let keyword = "racefree"
+
+  let parse_words = function
+    | [ "disjoint"; context ] -> Ok context
+    | [] -> Error "racefree pragma: missing tag (expected: disjoint <context>)"
+    | ws ->
+        Error
+          (Printf.sprintf
+             "racefree pragma: unknown tag %S (expected: disjoint <context>)"
+             (String.concat " " ws))
+
+  let subject_of t = t
+end
+
+module A = Pragma.Assume (Grammar)
+
+type t = A.t
+
+let scan = A.scan
+let unused = A.unused
+
+(* An assumption covers a site when its subject names the site's
+   context; anchored to the site line like every assume pragma, with
+   the file-wide fallback for contexts whose Pool call moved. *)
+let assume t ~context ~line =
+  match A.assume t ~subject:context ~line with
+  | Some _ as r -> r
+  | None -> A.assume_anywhere t ~subject:context

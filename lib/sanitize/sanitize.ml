@@ -1,0 +1,196 @@
+(* Write-set sanitizer.  Design constraints, in order:
+
+   - Zero cost when disarmed: [record] reads one domain-local slot and
+     returns.  Instrumentation points stay in release builds.
+   - No locking on the hot path: each shard owns its bucket, and only
+     the domain running that shard's task appends to it.  The pool's
+     batch join happens-after every task settles (it is ordered by the
+     pool mutex), so the joining domain reads the buckets race-free.
+   - Deterministic findings: shards are batch task indices, not domain
+     ids, so a witness depends on the inputs, never on the schedule. *)
+
+type span = { s_obj : int; s_lo : int; s_hi : int; s_tag : string }
+
+type witness = {
+  w_batch : string;
+  w_obj : int;
+  w_shard_a : int;
+  w_tag_a : string;
+  w_shard_b : int;
+  w_tag_b : string;
+  w_lo : int;
+  w_hi : int;
+}
+
+let witness_to_text w =
+  Printf.sprintf
+    "%s: object #%d elements [%d,%d): shard %d (%s) overlaps shard %d (%s)"
+    w.w_batch w.w_obj w.w_lo w.w_hi w.w_shard_a w.w_tag_a w.w_shard_b
+    w.w_tag_b
+
+type stats = {
+  batches : int;
+  spans : int;
+  dropped : int;
+  witnesses : witness list;
+}
+
+let next_id = Atomic.make 1
+let fresh_id () = Atomic.fetch_and_add next_id 1
+
+(* ------------------------------------------------------------------ *)
+(* Session                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let armed_flag = Atomic.make false
+let span_budget = Atomic.make 512
+
+(* Accumulated findings; guarded by [session_mu] (touched only at arm /
+   disarm / batch join, never on the write path). *)
+let session_mu = Mutex.create ()
+let acc_witnesses : witness list ref = ref []
+let acc_batches = ref 0
+let acc_spans = ref 0
+let acc_dropped = ref 0
+
+let arm ?(budget = 512) () =
+  Mutex.lock session_mu;
+  acc_witnesses := [];
+  acc_batches := 0;
+  acc_spans := 0;
+  acc_dropped := 0;
+  Mutex.unlock session_mu;
+  Atomic.set span_budget budget;
+  Atomic.set armed_flag true
+
+let armed () = Atomic.get armed_flag
+
+let disarm () =
+  Atomic.set armed_flag false;
+  Mutex.lock session_mu;
+  let s =
+    {
+      batches = !acc_batches;
+      spans = !acc_spans;
+      dropped = !acc_dropped;
+      witnesses = List.rev !acc_witnesses;
+    }
+  in
+  acc_witnesses := [];
+  acc_batches := 0;
+  acc_spans := 0;
+  acc_dropped := 0;
+  Mutex.unlock session_mu;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Buckets and recording                                               *)
+(* ------------------------------------------------------------------ *)
+
+type bucket = {
+  shard : int;
+  cap : int;
+  mutable spans : span list; (* newest first *)
+  mutable count : int;
+  mutable b_dropped : int;
+}
+
+type batch = { label : string; buckets : bucket array }
+
+let current : bucket option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let record ~obj ~lo ~hi ~tag =
+  if hi > lo then
+    match Domain.DLS.get current with
+    | None -> ()
+    | Some b -> (
+        match b.spans with
+        | s :: rest
+          when s.s_obj = obj && s.s_tag = tag && lo <= s.s_hi && hi >= s.s_lo
+          ->
+            (* Overlapping or adjacent to the latest span: widen it, so
+               element-wise fills stay one span deep. *)
+            b.spans <-
+              { s with s_lo = min lo s.s_lo; s_hi = max hi s.s_hi } :: rest
+        | _ ->
+            if b.count >= b.cap then b.b_dropped <- b.b_dropped + 1
+            else begin
+              b.spans <- { s_obj = obj; s_lo = lo; s_hi = hi; s_tag = tag } :: b.spans;
+              b.count <- b.count + 1
+            end)
+
+let batch_start ~label n =
+  let cap = Atomic.get span_budget in
+  {
+    label;
+    buckets =
+      Array.init n (fun shard ->
+          { shard; cap; spans = []; count = 0; b_dropped = 0 });
+  }
+
+let in_shard batch i f =
+  let old = Domain.DLS.get current in
+  Domain.DLS.set current (Some batch.buckets.(i));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current old) f
+
+(* ------------------------------------------------------------------ *)
+(* Join: cross-shard disjointness                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Spans annotated with their shard, sorted by (object, lo), then swept
+   with an active list: a span overlaps a previously opened one iff its
+   [lo] is below that span's [hi].  Same-shard overlaps are one task
+   writing twice — sequential, not a race — and are skipped. *)
+
+let max_witnesses_per_batch = 16
+
+let batch_join batch =
+  let all =
+    Array.to_list batch.buckets
+    |> List.concat_map (fun b -> List.rev_map (fun s -> (b.shard, s)) b.spans)
+    |> List.sort (fun (_, a) (_, b) ->
+           if a.s_obj <> b.s_obj then compare a.s_obj b.s_obj
+           else compare (a.s_lo, a.s_hi) (b.s_lo, b.s_hi))
+  in
+  let witnesses = ref [] and n_witnesses = ref 0 in
+  let active : (int * span) list ref = ref [] in
+  let flush_obj () = active := [] in
+  let last_obj = ref min_int in
+  List.iter
+    (fun (shard, s) ->
+      if s.s_obj <> !last_obj then begin
+        flush_obj ();
+        last_obj := s.s_obj
+      end;
+      active := List.filter (fun (_, a) -> a.s_hi > s.s_lo) !active;
+      List.iter
+        (fun (oshard, o) ->
+          if oshard <> shard && !n_witnesses < max_witnesses_per_batch then begin
+            incr n_witnesses;
+            witnesses :=
+              {
+                w_batch = batch.label;
+                w_obj = s.s_obj;
+                w_shard_a = min oshard shard;
+                w_tag_a = (if oshard < shard then o.s_tag else s.s_tag);
+                w_shard_b = max oshard shard;
+                w_tag_b = (if oshard < shard then s.s_tag else o.s_tag);
+                w_lo = max s.s_lo o.s_lo;
+                w_hi = min s.s_hi o.s_hi;
+              }
+              :: !witnesses
+          end)
+        !active;
+      active := (shard, s) :: !active)
+    all;
+  let spans = List.length all in
+  let dropped =
+    Array.fold_left (fun acc b -> acc + b.b_dropped) 0 batch.buckets
+  in
+  Mutex.lock session_mu;
+  incr acc_batches;
+  acc_spans := !acc_spans + spans;
+  acc_dropped := !acc_dropped + dropped;
+  acc_witnesses := List.rev_append !witnesses !acc_witnesses;
+  Mutex.unlock session_mu

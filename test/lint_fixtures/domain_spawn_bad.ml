@@ -1,0 +1,9 @@
+(* Known-bad domain-spawn fixture: raw Domain spawn/join outside the
+   pool runtime.  Never compiled — parsed by the lint tests. *)
+
+let worker f = Domain.spawn f
+let wait d = Domain.join d
+
+let fan_raw fs =
+  let ds = List.map Domain.spawn fs in
+  List.map Domain.join ds

@@ -1,0 +1,13 @@
+(* Known-good domain-spawn fixture: pool-mediated parallelism and the
+   benign (non-spawning) Domain operations do not fire; a justified
+   pragma covers the one deliberate escape hatch. *)
+
+let id () = Domain.self ()
+let pause () = Domain.cpu_relax ()
+let fan pool f xs = Scvad_par.Pool.map pool f xs
+
+(* lint: allow domain-spawn-outside-pool — fixture: a deliberate raw
+   spawn with its justification on record *)
+let escape f = Domain.spawn f
+
+let use () = (id, pause, fan, escape)

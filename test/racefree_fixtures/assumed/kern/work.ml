@@ -1,0 +1,12 @@
+(* Pragma fixture: a shared-write site downgraded to an on-record
+   assumption, plus one stale assumption that must surface as a
+   warning.  Never compiled — parsed by the racefree tests. *)
+
+(* racefree: assume disjoint histogram — fixture: the caller's binning
+   invariant keeps shard buckets disjoint *)
+let histogram pool n acc =
+  Pool.init pool n (fun i -> Array.set acc 0 (float_of_int i))
+
+(* racefree: assume disjoint vanished — fixture: this context no
+   longer exists *)
+let unrelated x = x + 1

@@ -1,0 +1,10 @@
+(* Known-bad fan-out fixture: a scale-0 write every shard repeats, and
+   a call the interpreter cannot resolve.  Never compiled — parsed by
+   the racefree tests. *)
+
+(* Every shard writes element 0 of the captured accumulator. *)
+let clobber pool n acc =
+  Pool.init pool n (fun i -> Array.set acc 0 (float_of_int i))
+
+(* An unresolvable callee is an unmet obligation, never a guess. *)
+let mystery pool xs = Pool.map pool (fun x -> Mystery.poke x) xs

@@ -1,0 +1,15 @@
+(* Known-good fan-out fixture: the two shapes the static pass proves
+   race-free.  Never compiled — parsed by the racefree tests. *)
+
+type cell = { mutable v : float }
+
+(* Per-shard datum mutation: every write lands on the shard's own
+   element. *)
+let bump pool cells = Pool.map pool (fun c -> c.v <- c.v +. 1.0) cells
+
+(* Index-affine sharding of a captured array: stride 2, offsets 0 and
+   1, so distinct shards write disjoint lanes. *)
+let stripe pool n out =
+  Pool.init pool n (fun i ->
+      Array.set out (2 * i) 0.0;
+      Array.set out ((2 * i) + 1) 1.0)

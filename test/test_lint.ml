@@ -17,7 +17,14 @@ let p name = Filename.concat root name
    domain-safety rule is scoped to it, and no allowlist applies unless a
    test says so. *)
 let fixture_config =
-  { Driver.domain_dirs = [ root ]; unsafe_allow = []; float_allow = [] }
+  {
+    Driver.domain_dirs = [ root ];
+    (* No pool runtime in the fixture tree: the spawn rule applies to
+       every fixture unless a test says otherwise. *)
+    pool_dirs = [];
+    unsafe_allow = [];
+    float_allow = [];
+  }
 
 let lint path = Driver.lint_paths ~config:fixture_config [ path ]
 
@@ -53,6 +60,26 @@ let test_domain_out_of_scope () =
   let config = { fixture_config with Driver.domain_dirs = [ "lib" ] } in
   let r = Driver.lint_paths ~config [ (p "domain_bad.ml") ] in
   Alcotest.(check int) "domain rule out of scope" 0 (List.length r.Driver.findings)
+
+let test_domain_spawn_bad () =
+  check_lines "domain-spawn-outside-pool findings"
+    Finding.Domain_spawn_outside_pool
+    (p "domain_spawn_bad.ml")
+    [ 4; 5; 8; 9 ]
+
+let test_domain_spawn_good () =
+  (* Domain.self/cpu_relax and pool-mediated fan-out are benign; the
+     one raw spawn carries a justified pragma. *)
+  check_clean "no findings" (p "domain_spawn_good.ml")
+
+let test_domain_spawn_pool_scope () =
+  (* The same known-bad file is the trusted pool runtime when the
+     config says so — the rule must not fire on lib/par itself. *)
+  let config = { fixture_config with Driver.pool_dirs = [ root ] } in
+  let r = Driver.lint_paths ~config [ (p "domain_spawn_bad.ml") ] in
+  Alcotest.(check int)
+    "spawn rule exempt in pool dirs" 0
+    (List.length r.Driver.findings)
 
 let test_unsafe_bad () =
   check_lines "unsafe-access findings" Finding.Unsafe_access
@@ -182,6 +209,12 @@ let suites =
       [ Alcotest.test_case "domain-safety: known bad" `Quick test_domain_bad;
         Alcotest.test_case "domain-safety: known good" `Quick test_domain_good;
         Alcotest.test_case "domain-safety: scope" `Quick test_domain_out_of_scope;
+        Alcotest.test_case "domain-spawn-outside-pool: known bad" `Quick
+          test_domain_spawn_bad;
+        Alcotest.test_case "domain-spawn-outside-pool: known good" `Quick
+          test_domain_spawn_good;
+        Alcotest.test_case "domain-spawn-outside-pool: pool scope" `Quick
+          test_domain_spawn_pool_scope;
         Alcotest.test_case "unsafe-access: known bad" `Quick test_unsafe_bad;
         Alcotest.test_case "unsafe-access: known good" `Quick test_unsafe_good;
         Alcotest.test_case "float-equality: known bad" `Quick test_floateq_bad;

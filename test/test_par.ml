@@ -47,6 +47,53 @@ let test_map_exception () =
       (* First failure in input-index order: 3. *)
       Alcotest.(check (option int)) "first exception wins" (Some 3) raised)
 
+(* A named frame for the backtrace to carry across the domain
+   boundary. *)
+let[@inline never] planted_failure x = raise (Boom x)
+
+let test_exception_backtrace_survives () =
+  (* The pool re-raises with [Printexc.raise_with_backtrace], so the
+     caller sees the worker's original raise site, not the pool's
+     re-raise site. *)
+  let was = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace was)
+    (fun () ->
+      with_pool4 (fun pool ->
+          let bt =
+            try
+              ignore
+                (Pool.map pool
+                   (fun x -> if x = 3 then planted_failure x else x)
+                   [ 1; 2; 3; 4; 5 ]);
+              ""
+            with Boom _ -> Printexc.get_backtrace ()
+          in
+          Alcotest.(check bool)
+            "backtrace names the worker's raise site" true
+            (Astring.String.is_infix ~affix:"test_par" bt)))
+
+let test_nested_map_exception () =
+  (* A failure inside an in-worker nested map must surface as the outer
+     shard's failure, and the outer map still picks the first failing
+     shard in input order (row 2, not row 3). *)
+  with_pool4 (fun pool ->
+      let raised =
+        try
+          ignore
+            (Pool.map pool
+               (fun row ->
+                 Pool.map pool
+                   (fun x -> if x = row then raise (Boom (10 * row)) else x)
+                   [ 1; 2; 3 ])
+               [ 2; 3; 5 ]);
+          None
+        with Boom x -> Some x
+      in
+      Alcotest.(check (option int)) "first outer shard's nested failure"
+        (Some 20) raised)
+
 let test_map_after_shutdown () =
   let pool = Pool.create ~jobs:4 in
   Pool.shutdown pool;
@@ -204,6 +251,38 @@ let prop_suite_determinism =
       in
       String.equal (run j1) (run j2))
 
+exception Planted of int
+
+(* The exception contract, falsified at random: whatever the job count,
+   a randomly-raising workload — including raises from nested in-worker
+   maps — re-raises exactly the exception a sequential run picks. *)
+let prop_first_exception_deterministic =
+  QCheck.Test.make ~count:20
+    ~name:"exception choice identical for jobs=1..4 (incl. nested maps)"
+    QCheck.(pair (int_range 2 4) (small_list (int_bound 30)))
+    (fun (jobs, xs) ->
+      let outcome j =
+        Pool.with_pool ~jobs:j (fun pool ->
+            match
+              Pool.map pool
+                (fun x ->
+                  if x mod 2 = 1 then
+                    (* Three consecutive ints contain a multiple of 3,
+                       so every odd shard fails inside its nested map. *)
+                    List.fold_left ( + ) 0
+                      (Pool.map pool
+                         (fun y ->
+                           if y mod 3 = 0 then raise (Planted y) else y)
+                         [ x; x + 1; x + 2 ])
+                  else if x mod 3 = 0 then raise (Planted x)
+                  else x)
+                xs
+            with
+            | r -> Ok r
+            | exception Planted y -> Error y)
+      in
+      outcome 1 = outcome jobs)
+
 let suites =
   [ ( "par.pool",
       [ Alcotest.test_case "map preserves input order" `Quick test_map_ordering;
@@ -212,6 +291,10 @@ let suites =
           test_map_empty_and_singleton;
         Alcotest.test_case "first exception re-raised" `Quick
           test_map_exception;
+        Alcotest.test_case "worker backtrace survives re-raise" `Quick
+          test_exception_backtrace_survives;
+        Alcotest.test_case "nested failure re-raised in outer order" `Quick
+          test_nested_map_exception;
         Alcotest.test_case "shutdown idempotent, map raises" `Quick
           test_map_after_shutdown;
         Alcotest.test_case "nested map" `Quick test_nested_map;
@@ -228,4 +311,5 @@ let suites =
           test_forward_probe_parallel_determinism;
         Alcotest.test_case "activity jobs=1 = jobs=4 (cg-tiny)" `Quick
           test_activity_parallel_determinism;
-        QCheck_alcotest.to_alcotest prop_suite_determinism ] ) ]
+        QCheck_alcotest.to_alcotest prop_suite_determinism;
+        QCheck_alcotest.to_alcotest prop_first_exception_deterministic ] ) ]
